@@ -1,0 +1,58 @@
+"""Benchmark: ablations over the proposed method's design choices.
+
+Section IV motivates two knobs; this bench regenerates the sweep tables:
+
+* per-epoch step size (empirical property 1: steps that are too small
+  cripple the defense — the "relatively large per step perturbation"
+  choice);
+* reset interval (tracking long-term classifier drift).
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_reset_interval_ablation,
+    run_step_size_ablation,
+)
+
+from conftest import save_artifact
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_step_size_ablation(benchmark, digits_pool):
+    result = benchmark.pedantic(
+        run_step_size_ablation,
+        args=(digits_pool.config,),
+        kwargs={"pool": digits_pool},
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    print("\n" + text)
+    path = save_artifact("ablation_step_size.txt", text)
+    result.save(path.replace(".txt", ".json"))
+
+    # Property-1 shape: the largest step must beat the smallest step on
+    # iterative-attack robustness.
+    by_fraction = dict(zip(result.values, result.accuracy))
+    smallest = by_fraction[min(by_fraction)]
+    largest = by_fraction[max(by_fraction)]
+    assert largest["bim10"] >= smallest["bim10"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_reset_interval_ablation(benchmark, digits_pool):
+    result = benchmark.pedantic(
+        run_reset_interval_ablation,
+        args=(digits_pool.config,),
+        kwargs={"pool": digits_pool},
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    print("\n" + text)
+    path = save_artifact("ablation_reset_interval.txt", text)
+    result.save(path.replace(".txt", ".json"))
+
+    for accuracy in result.accuracy:
+        assert 0.0 <= accuracy["bim10"] <= 1.0

@@ -1,0 +1,48 @@
+"""Benchmark: where does the proposed method cross Iter-Adv?
+
+Sweeps the training/eval budget and compares the proposed Single-Adv
+method against BIM(10)-Adv pointwise.  Locates the crossover epsilon (if
+any) on this substrate — the "where crossovers fall" half of the
+reproduction contract.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.experiments import run_crossover_study
+
+from conftest import bench_config, save_artifact
+
+SHAPE_CHECKS = os.environ.get("REPRO_BENCH_SCALE", "medium") != "smoke"
+
+
+@pytest.mark.benchmark(group="crossover")
+def test_budget_crossover(benchmark):
+    config = bench_config("digits")
+    base_eps = config.resolved_epsilon
+    epsilons = (0.6 * base_eps, base_eps, 1.3 * base_eps)
+    result = benchmark.pedantic(
+        run_crossover_study,
+        args=(config, epsilons),
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    crossover = result.crossover_epsilon("proposed", "bim10_adv")
+    text += (
+        "\n\nfirst epsilon where proposed < bim10_adv: "
+        + ("none in sweep" if math.isnan(crossover) else f"{crossover:g}")
+    )
+    print("\n" + text)
+    path = save_artifact("crossover_digits.txt", text)
+    result.save(path.replace(".txt", ".json"))
+
+    if not SHAPE_CHECKS:
+        return
+    # At the calibrated budget the two methods must be within a sane band
+    # (the paper's "same level" claim); a blowout either way means the
+    # substrate drifted.
+    gap_at_base = result.gap("proposed", "bim10_adv")[1]
+    assert abs(gap_at_base) < 0.25

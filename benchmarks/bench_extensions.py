@@ -1,0 +1,51 @@
+"""Benchmark: extension defenses beyond Table I (future-work section).
+
+The paper's future work calls for "more experiments to get deeper
+understanding of Single-Adv and Iter-Adv"; this bench extends Table I with
+the two standard relatives of the proposed method:
+
+* ``pgd_adv``  — Iter-Adv with random-start PGD (Madry et al., 2017);
+* ``free_adv`` — free adversarial training (Shafahi et al., 2019), the
+  other published way to amortise the attack across training.
+
+Expected shape: free_adv robustness between FGSM-Adv and Iter-Adv at a
+cost of ~``replays`` vanilla epochs; pgd_adv ≈ bim-Adv in both accuracy
+and cost.
+"""
+
+import os
+
+import pytest
+
+from repro.eval import RobustnessEvaluator, format_percent, format_table
+from repro.experiments import run_table1
+
+from conftest import save_artifact
+
+SHAPE_CHECKS = os.environ.get("REPRO_BENCH_SCALE", "medium") != "smoke"
+
+EXTENDED_METHODS = ("fgsm_adv", "proposed", "free_adv", "pgd_adv")
+
+
+def _run(pool):
+    return run_table1(pool.config, pool=pool, methods=EXTENDED_METHODS)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_extended_defense_table(benchmark, digits_pool):
+    result = benchmark.pedantic(
+        _run, args=(digits_pool,), rounds=1, iterations=1
+    )
+    text = result.render()
+    print("\n" + text)
+    path = save_artifact("extensions_digits.txt", text)
+    result.save(path.replace(".txt", ".json"))
+
+    if not SHAPE_CHECKS:
+        return
+    accuracy = result.accuracy
+    times = result.time_per_epoch
+    # Free training beats plain FGSM-Adv on iterative attacks...
+    assert accuracy["free_adv"]["bim10"] > accuracy["fgsm_adv"]["bim10"]
+    # ... and the amortised methods stay far below PGD-Adv's cost.
+    assert times["proposed"] < times["pgd_adv"]

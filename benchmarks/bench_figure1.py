@@ -1,0 +1,47 @@
+"""Benchmark regenerating Figure 1 (both panels).
+
+Figure 1 plots test accuracy of four classifiers (Vanilla, FGSM-Adv,
+BIM(10)-Adv, BIM(30)-Adv) against BIM examples with varying iteration
+count ``N`` (per-step size ``eps / N``, fixed total budget).
+
+Expected shape versus the paper:
+  * Vanilla and FGSM-Adv collapse within a few iterations;
+  * BIM-Adv classifiers plateau at much higher accuracy;
+  * every curve converges quickly in N (empirical property 1).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import run_figure1
+
+from conftest import save_artifact
+
+SHAPE_CHECKS = os.environ.get("REPRO_BENCH_SCALE", "medium") != "smoke"
+
+
+def _run(pool):
+    return run_figure1(pool.config, pool=pool)
+
+
+@pytest.mark.benchmark(group="figure1")
+@pytest.mark.parametrize("dataset", ["digits", "fashion"])
+def test_figure1(benchmark, dataset, digits_pool, fashion_pool):
+    pool = digits_pool if dataset == "digits" else fashion_pool
+    result = benchmark.pedantic(_run, args=(pool,), rounds=1, iterations=1)
+    text = result.render()
+    print("\n" + text)
+    path = save_artifact(f"figure1_{dataset}.txt", text)
+    result.save(path.replace(".txt", ".json"))
+
+    if not SHAPE_CHECKS:
+        return  # smoke scale trains too briefly for the shapes to emerge
+    curves = result.curves
+    last = {name: curve[-1] for name, curve in curves.items()}
+    # Shape: defended (BIM-Adv) classifiers end far above undefended ones.
+    assert last["bim10_adv"] > last["fgsm_adv"]
+    assert last["bim30_adv"] > last["vanilla"]
+    # Convergence in N: the tail of each curve is nearly flat.
+    for name, curve in curves.items():
+        assert abs(curve[-1] - curve[-2]) < 0.1, name

@@ -1,0 +1,44 @@
+"""Benchmark regenerating Figure 2 (both panels).
+
+Figure 2 plots test accuracy after every intermediate iterate of a fixed
+BIM(10) attack (per-step size ``eps / 10``) for the same four classifiers.
+
+Expected shape versus the paper:
+  * accuracy decreases (in trend) with the iterate index;
+  * undefended classifiers are defeated before the attack finishes;
+  * intermediate iterates already account for most of the degradation
+    (empirical property 2).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import run_figure2
+
+from conftest import save_artifact
+
+SHAPE_CHECKS = os.environ.get("REPRO_BENCH_SCALE", "medium") != "smoke"
+
+
+def _run(pool):
+    return run_figure2(pool.config, pool=pool, num_steps=10)
+
+
+@pytest.mark.benchmark(group="figure2")
+@pytest.mark.parametrize("dataset", ["digits", "fashion"])
+def test_figure2(benchmark, dataset, digits_pool, fashion_pool):
+    pool = digits_pool if dataset == "digits" else fashion_pool
+    result = benchmark.pedantic(_run, args=(pool,), rounds=1, iterations=1)
+    text = result.render()
+    print("\n" + text)
+    path = save_artifact(f"figure2_{dataset}.txt", text)
+    result.save(path.replace(".txt", ".json"))
+
+    if not SHAPE_CHECKS:
+        return  # smoke scale trains too briefly for the shapes to emerge
+    for name, curve in result.curves.items():
+        # Overall decreasing trend (start high, end lower).
+        assert curve[-1] <= curve[0] + 1e-9, name
+    # Undefended models end below the defended ones.
+    assert result.curves["vanilla"][-1] < result.curves["bim10_adv"][-1]

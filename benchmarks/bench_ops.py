@@ -1,0 +1,70 @@
+"""Microbenchmarks: core autograd/NN operation throughput.
+
+Tracks the substrate performance the experiment costs rest on: forward and
+forward+backward passes of the dense and convolutional models, plus the two
+most expensive primitives (conv2d, matmul).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, conv2d, matmul
+from repro.models import mnist_cnn, mnist_mlp
+from repro.nn import cross_entropy
+
+
+@pytest.fixture(scope="module")
+def image_batch():
+    return np.random.default_rng(0).uniform(0, 1, size=(64, 1, 28, 28))
+
+
+@pytest.fixture(scope="module")
+def labels():
+    return np.random.default_rng(1).integers(0, 10, size=64)
+
+
+@pytest.mark.benchmark(group="ops")
+def test_matmul_512(benchmark):
+    rng = np.random.default_rng(0)
+    a = Tensor(rng.normal(size=(512, 512)))
+    b = Tensor(rng.normal(size=(512, 512)))
+    benchmark(lambda: (a @ b).data)
+
+
+@pytest.mark.benchmark(group="ops")
+def test_conv2d_forward(benchmark, image_batch):
+    x = Tensor(image_batch)
+    w = Tensor(np.random.default_rng(0).normal(size=(16, 1, 3, 3)) * 0.1)
+    benchmark(lambda: conv2d(x, w, padding=1).data)
+
+
+@pytest.mark.benchmark(group="model-pass")
+def test_mlp_forward(benchmark, image_batch):
+    model = mnist_mlp(seed=0)
+    model.eval()
+    x = Tensor(image_batch)
+    benchmark(lambda: model(x).data)
+
+
+@pytest.mark.benchmark(group="model-pass")
+def test_mlp_forward_backward(benchmark, image_batch, labels):
+    model = mnist_mlp(seed=0)
+
+    def step():
+        model.zero_grad()
+        loss = cross_entropy(model(Tensor(image_batch)), labels)
+        loss.backward()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="model-pass")
+def test_cnn_forward_backward(benchmark, image_batch, labels):
+    model = mnist_cnn(seed=0)
+
+    def step():
+        model.zero_grad()
+        loss = cross_entropy(model(Tensor(image_batch)), labels)
+        loss.backward()
+
+    benchmark.pedantic(step, rounds=3, iterations=1)

@@ -1,0 +1,41 @@
+"""Microbenchmarks: per-epoch training cost of every defense.
+
+This isolates the Table I timing column: one epoch of each method on an
+identical loader.  The structural expectation is
+
+    vanilla < fgsm_adv ~ proposed < atda < bim10_adv < bim30_adv
+
+with BIM(k)-Adv scaling roughly as ``(k + 2) / 3`` over the single-step
+methods.
+"""
+
+import pytest
+
+from repro.data import DataLoader, load_dataset
+from repro.defenses import build_trainer
+from repro.models import mnist_mlp
+
+
+@pytest.fixture(scope="module")
+def loader():
+    train, _ = load_dataset(
+        "digits", train_per_class=50, test_per_class=1, seed=0
+    )
+    return DataLoader(train, batch_size=128, rng=0)
+
+
+def one_epoch(name, loader):
+    model = mnist_mlp(seed=0)
+    trainer = build_trainer(name, model, epsilon=0.25, lr=1e-3)
+    trainer.train_epoch(loader)
+
+
+@pytest.mark.benchmark(group="epoch-cost")
+@pytest.mark.parametrize(
+    "name",
+    ["vanilla", "fgsm_adv", "atda", "proposed", "bim10_adv", "bim30_adv"],
+)
+def test_epoch_cost(benchmark, name, loader):
+    benchmark.pedantic(
+        one_epoch, args=(name, loader), rounds=2, iterations=1
+    )

@@ -1,0 +1,43 @@
+"""Benchmark: multi-seed variance of the headline Table I comparison.
+
+Repeats proposed-vs-ATDA (plus the BIM(10)-Adv reference) across seeds and
+reports mean ± std — quantifying whether the paper's headline gap survives
+run-to-run noise on this substrate.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import run_variance_study
+
+from conftest import bench_config, save_artifact
+
+SHAPE_CHECKS = os.environ.get("REPRO_BENCH_SCALE", "medium") != "smoke"
+
+
+@pytest.mark.benchmark(group="variance")
+def test_variance_study(benchmark):
+    config = bench_config("digits")
+    result = benchmark.pedantic(
+        run_variance_study,
+        args=(config,),
+        kwargs={"seeds": (0, 1, 2)},
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    mean_gap = result.mean("proposed", "bim10") - result.mean("atda", "bim10")
+    text += (
+        f"\n\nproposed - atda on bim10: {100 * mean_gap:+.2f} pts (mean), "
+        f"significant at 1 sigma: "
+        f"{result.gap_significant('proposed', 'atda', 'bim10')}"
+    )
+    print("\n" + text)
+    path = save_artifact("variance_digits.txt", text)
+    result.save(path.replace(".txt", ".json"))
+
+    if not SHAPE_CHECKS:
+        return
+    # The paper's headline ordering should hold in the mean.
+    assert result.mean("proposed", "bim10") > result.mean("atda", "bim10")

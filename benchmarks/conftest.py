@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harness.
+
+Scale control
+-------------
+``REPRO_BENCH_SCALE`` selects the fidelity of the paper-artefact benches:
+
+* ``smoke``  — seconds per bench; shapes not meaningful (CI sanity).
+* ``medium`` — default; minutes per bench; paper shapes reproduce.
+* ``paper``  — full fidelity (200/class, 80 epochs).
+
+The expensive part — training the defended classifiers — is shared through
+session-scoped :class:`~repro.experiments.ClassifierPool` fixtures, so the
+figure and table benches reuse the same trained models.
+
+Rendered artefacts (tables, curves) are written to ``benchmarks/results/``
+and printed, so a benchmark run regenerates every row/series the paper
+reports.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ClassifierPool, paper_scale, smoke_scale
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_config(dataset: str):
+    """Resolve the benchmark ExperimentConfig from REPRO_BENCH_SCALE."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "medium")
+    if scale == "paper":
+        return paper_scale(dataset)
+    if scale == "medium":
+        return paper_scale(
+            dataset, train_per_class=150, test_per_class=40, epochs=60
+        )
+    if scale == "smoke":
+        return smoke_scale(dataset)
+    raise ValueError(
+        f"REPRO_BENCH_SCALE must be smoke|medium|paper, got {scale!r}"
+    )
+
+
+def save_artifact(name: str, text: str) -> str:
+    """Write a rendered artefact under benchmarks/results/ and return path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def digits_pool():
+    """Trained-classifier pool for the digit dataset (shared by benches)."""
+    return ClassifierPool(bench_config("digits"))
+
+
+@pytest.fixture(scope="session")
+def fashion_pool():
+    """Trained-classifier pool for the fashion dataset."""
+    return ClassifierPool(bench_config("fashion"))

@@ -1,0 +1,50 @@
+"""Ablation study over the proposed method's design choices.
+
+Sweeps (a) the per-epoch step size and (b) the cache reset interval of the
+epoch-wise adversarial trainer, quantifying both Section IV design choices
+on this substrate.
+
+Run:
+    python examples/ablation_study.py
+    python examples/ablation_study.py --scale paper --dataset fashion
+"""
+
+import argparse
+
+from repro.experiments import (
+    paper_scale,
+    run_reset_interval_ablation,
+    run_step_size_ablation,
+    smoke_scale,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=("smoke", "medium", "paper"), default="medium"
+    )
+    parser.add_argument(
+        "--dataset", choices=("digits", "fashion"), default="digits"
+    )
+    args = parser.parse_args()
+
+    if args.scale == "paper":
+        config = paper_scale(args.dataset)
+    elif args.scale == "medium":
+        config = paper_scale(
+            args.dataset, train_per_class=100, test_per_class=30, epochs=40
+        )
+    else:
+        config = smoke_scale(args.dataset)
+
+    steps = run_step_size_ablation(config, verbose=True)
+    print()
+    print(steps.render())
+    print()
+    resets = run_reset_interval_ablation(config, verbose=True)
+    print(resets.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Robustness audit: transfer attacks + gradient-masking diagnostics.
+
+Trains two defenses (the proposed method and FGSM-Adv), then:
+
+1. runs the Athalye-style gradient-masking checks on each;
+2. builds a transfer matrix — adversarial examples generated against one
+   model evaluated on the other — the standard black-box cross-check that
+   white-box robustness is not an artefact of masked gradients.
+
+Run:
+    python examples/robustness_audit.py
+"""
+
+import argparse
+
+from repro.attacks import BIM
+from repro.data import DataLoader, load_dataset
+from repro.defenses import build_trainer
+from repro.eval import (
+    format_percent,
+    format_table,
+    gradient_masking_report,
+    transfer_matrix,
+)
+from repro.models import mnist_mlp
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=40)
+    parser.add_argument("--epsilon", type=float, default=0.25)
+    args = parser.parse_args()
+
+    train, test = load_dataset(
+        "digits", train_per_class=100, test_per_class=30, seed=0
+    )
+    x, y = test.arrays()
+    loader = DataLoader(train, batch_size=128, rng=0)
+
+    models = {}
+    for name in ("proposed", "fgsm_adv"):
+        print(f"training {name} ...")
+        model = mnist_mlp(seed=0)
+        trainer = build_trainer(
+            name, model, epsilon=args.epsilon, warmup_epochs=5
+        )
+        trainer.fit(loader, epochs=args.epochs)
+        models[name] = model
+
+    print("\n--- gradient-masking diagnostics ---")
+    for name, model in models.items():
+        report = gradient_masking_report(model, x, y, epsilon=args.epsilon)
+        print(f"\n[{name}]")
+        print(report.render())
+
+    print("\n--- transfer matrix (BIM(10), rows = source) ---")
+    grid = transfer_matrix(
+        models, lambda m: BIM(m, args.epsilon, num_steps=10), x, y
+    )
+    names = list(grid)
+    rows = [
+        [source] + [format_percent(grid[source][target]) for target in names]
+        for source in names
+    ]
+    print(format_table(["source \\ target"] + names, rows))
+    print(
+        "\nDiagonal = white-box robustness; off-diagonal = black-box "
+        "transfer. Transfer accuracy above the diagonal confirms the "
+        "white-box numbers are not gradient-masking artefacts."
+    )
+
+
+if __name__ == "__main__":
+    main()

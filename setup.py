@@ -1,0 +1,9 @@
+"""Setup shim enabling legacy editable installs in offline environments.
+
+The canonical project metadata lives in pyproject.toml; this file only
+exists so that ``pip install -e . --no-use-pep517`` (or ``python setup.py
+develop``) works where the ``wheel`` package is unavailable.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""White-box evasion attacks (l_inf family).
+
+* :class:`FGSM` — single-step sign attack (Goodfellow et al., 2015).
+* :class:`BIM` — iterative FGSM (Kurakin et al., 2016); central to the
+  paper's Figures 1-2 and Table I.  Exposes intermediate iterates.
+* :class:`PGD` — BIM with random start (Madry et al., 2017).
+* :class:`MIM` — momentum iterative method (Dong et al., 2018).
+* :class:`RandomNoise` — gradient-free noise baseline.
+"""
+
+from .base import Attack, clip_to_box, project_linf
+from .bim import BIM
+from .deepfool import DeepFool
+from .fgsm import FGSM
+from .losses import margin_loss
+from .mim import MIM
+from .noise import RandomNoise
+from .pgd import PGD
+from .pgd_l2 import PGDL2, project_l2
+from .spsa import SPSA
+
+__all__ = [
+    "Attack",
+    "clip_to_box",
+    "project_linf",
+    "project_l2",
+    "FGSM",
+    "BIM",
+    "PGD",
+    "PGDL2",
+    "MIM",
+    "DeepFool",
+    "SPSA",
+    "RandomNoise",
+    "margin_loss",
+]

@@ -1,0 +1,116 @@
+"""Attack base class and shared gradient machinery.
+
+All attacks operate on numpy image batches in the unit box ``[0, 1]`` and
+return perturbed numpy batches.  White-box gradients are obtained through
+the autograd engine by marking the input tensor as requiring grad —
+exactly the mechanism the paper's equations describe::
+
+    delta_i = sign( d L(C(x_{i-1}), y) / d x_{i-1} ) * eps_i
+    x_i     = clip(x_{i-1} + delta_i)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import Module, cross_entropy
+from ..utils.validation import check_image_batch
+
+__all__ = ["Attack", "project_linf", "clip_to_box"]
+
+
+def clip_to_box(x: np.ndarray, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+    """Clamp pixel values into the valid image box."""
+    return np.clip(x, low, high)
+
+
+def project_linf(
+    x_adv: np.ndarray, x_orig: np.ndarray, epsilon: float
+) -> np.ndarray:
+    """Project ``x_adv`` onto the l_inf ball of radius ``epsilon`` around
+    ``x_orig`` (elementwise clamp of the perturbation)."""
+    return x_orig + np.clip(x_adv - x_orig, -epsilon, epsilon)
+
+
+class Attack:
+    """Base class for white-box evasion attacks.
+
+    Parameters
+    ----------
+    model:
+        The victim classifier (any callable module producing logits).
+    loss_fn:
+        Loss whose input-gradient drives the attack; defaults to softmax
+        cross-entropy as in the paper.
+    clip_min, clip_max:
+        Valid pixel range.
+    targeted:
+        If ``True``, labels passed to :meth:`generate` are *target* classes
+        and the attack descends the loss instead of ascending it.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn: Callable = cross_entropy,
+        clip_min: float = 0.0,
+        clip_max: float = 1.0,
+        targeted: bool = False,
+    ) -> None:
+        if clip_min >= clip_max:
+            raise ValueError(
+                f"clip_min must be below clip_max, got [{clip_min}, {clip_max}]"
+            )
+        self.model = model
+        self.loss_fn = loss_fn
+        self.clip_min = clip_min
+        self.clip_max = clip_max
+        self.targeted = targeted
+
+    # ------------------------------------------------------------------
+    def input_gradient(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Gradient of the loss w.r.t. the input batch.
+
+        The model is evaluated in its current training mode; callers should
+        normally put the model in eval mode first (attacks against dropout
+        noise are not what the paper studies).
+        """
+        x_tensor = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+        logits = self.model(x_tensor)
+        loss = self.loss_fn(logits, y)
+        loss.backward()
+        grad = x_tensor.grad
+        if grad is None:
+            raise RuntimeError(
+                "input received no gradient; is the model differentiable?"
+            )
+        return grad
+
+    def loss_direction(self) -> float:
+        """+1 for untargeted ascent, -1 for targeted descent."""
+        return -1.0 if self.targeted else 1.0
+
+    # ------------------------------------------------------------------
+    def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Return adversarial examples for batch ``(x, y)``."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self.generate(x, y)
+
+    # ------------------------------------------------------------------
+    def _validate(self, x: np.ndarray, y: np.ndarray) -> None:
+        check_image_batch(x)
+        y = np.asarray(y)
+        if len(y) != len(x):
+            raise ValueError(
+                f"labels ({len(y)}) and examples ({len(x)}) disagree"
+            )
+
+    @property
+    def name(self) -> str:
+        """Short attack name used in reports."""
+        return type(self).__name__

@@ -1,0 +1,35 @@
+"""Fast Gradient Sign Method (Goodfellow et al., 2015)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import check_positive
+from .base import Attack, clip_to_box
+
+__all__ = ["FGSM"]
+
+
+class FGSM(Attack):
+    """Single-step l_inf attack: ``x' = clip(x + eps * sign(grad))``.
+
+    Parameters
+    ----------
+    model, loss_fn, clip_min, clip_max, targeted:
+        See :class:`~repro.attacks.base.Attack`.
+    epsilon:
+        Perturbation budget (l_inf radius).
+    """
+
+    def __init__(self, model, epsilon: float, **kwargs) -> None:
+        super().__init__(model, **kwargs)
+        check_positive("epsilon", epsilon)
+        self.epsilon = float(epsilon)
+
+    def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Return adversarial examples for the batch ``(x, y)``."""
+        self._validate(x, y)
+        x = np.asarray(x, dtype=np.float64)
+        grad = self.input_gradient(x, y)
+        step = self.loss_direction() * self.epsilon * np.sign(grad)
+        return clip_to_box(x + step, self.clip_min, self.clip_max)

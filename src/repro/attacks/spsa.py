@@ -1,0 +1,107 @@
+"""SPSA attack (Uesato et al., 2018) — gradient-free l_inf attack.
+
+Estimates the loss gradient with Simultaneous Perturbation Stochastic
+Approximation: random Rademacher directions and finite differences of the
+loss, no backpropagation.  Because it never touches the model's gradients,
+SPSA penetrates gradient masking — it is the standard "is your white-box
+robustness real?" cross-check and complements the diagnostics in
+:mod:`repro.eval.diagnostics`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..nn import cross_entropy
+from ..utils.rng import RngLike, ensure_rng
+from ..utils.validation import check_positive
+from .base import Attack, clip_to_box, project_linf
+
+__all__ = ["SPSA"]
+
+
+class SPSA(Attack):
+    """Gradient-free l_inf attack via SPSA gradient estimation.
+
+    Parameters
+    ----------
+    epsilon:
+        l_inf budget.
+    num_steps:
+        Ascent steps.
+    step_size:
+        Per-step l_inf movement; defaults to ``epsilon / num_steps * 2``.
+    samples:
+        Rademacher direction pairs per gradient estimate (more = less
+        noise = stronger attack, linearly more forward passes).
+    delta:
+        Finite-difference probe radius.
+    """
+
+    def __init__(
+        self,
+        model,
+        epsilon: float,
+        num_steps: int = 10,
+        step_size: float = None,
+        samples: int = 16,
+        delta: float = 0.01,
+        rng: RngLike = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(model, **kwargs)
+        check_positive("epsilon", epsilon)
+        if num_steps <= 0:
+            raise ValueError(f"num_steps must be positive, got {num_steps}")
+        if samples <= 0:
+            raise ValueError(f"samples must be positive, got {samples}")
+        check_positive("delta", delta)
+        self.epsilon = float(epsilon)
+        self.num_steps = int(num_steps)
+        self.step_size = (
+            float(step_size)
+            if step_size is not None
+            else 2.0 * self.epsilon / self.num_steps
+        )
+        self.samples = int(samples)
+        self.delta = float(delta)
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------
+    def _loss_values(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Per-example loss, computed without building a graph."""
+        with no_grad():
+            logits = self.model(Tensor(x))
+            per_example = cross_entropy(logits, y, reduction="none")
+        return per_example.data
+
+    def _estimate_gradient(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        estimate = np.zeros_like(x)
+        for _ in range(self.samples):
+            direction = self._rng.choice([-1.0, 1.0], size=x.shape)
+            plus = self._loss_values(x + self.delta * direction, y)
+            minus = self._loss_values(x - self.delta * direction, y)
+            diff = (plus - minus) / (2.0 * self.delta)
+            estimate += diff.reshape((-1,) + (1,) * (x.ndim - 1)) * direction
+        return estimate / self.samples
+
+    def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Return adversarial examples for the batch ``(x, y)``. Uses only forward passes."""
+        self._validate(x, y)
+        x = np.asarray(x, dtype=np.float64)
+        x_adv = x.copy()
+        for _ in range(self.num_steps):
+            grad = self._estimate_gradient(x_adv, y)
+            moved = (
+                x_adv
+                + self.loss_direction() * self.step_size * np.sign(grad)
+            )
+            x_adv = clip_to_box(
+                project_linf(moved, x, self.epsilon),
+                self.clip_min,
+                self.clip_max,
+            )
+        return x_adv

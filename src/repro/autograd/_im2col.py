@@ -1,0 +1,85 @@
+"""im2col / col2im helpers used by the convolution and pooling kernels.
+
+These are plain numpy routines (no autograd involvement).  Layout convention
+throughout the project is NCHW: ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"window (kernel={kernel}, stride={stride}, padding={padding}) "
+            f"does not fit input of size {size}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    Array of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)`` where each
+    row is one receptive field.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    if padding > 0:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        n * out_h * out_w, c * kernel_h * kernel_w
+    )
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back into an image."""
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    padded = np.zeros(
+        (n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype
+    )
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded

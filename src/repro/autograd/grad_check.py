@@ -1,0 +1,80 @@
+"""Numerical gradient checking for autograd functions.
+
+Used heavily by the test-suite to validate every differentiable operation
+against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .engine import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    Parameters
+    ----------
+    fn:
+        Function mapping tensors to a tensor.
+    inputs:
+        All tensor inputs of ``fn``.
+    index:
+        Which input to differentiate with respect to.
+    eps:
+        Finite-difference step.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+    eps: float = 1e-6,
+) -> None:
+    """Assert that autograd gradients of ``fn`` match finite differences.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch.
+    """
+    inputs = [
+        t if isinstance(t, Tensor) else Tensor(np.asarray(t, dtype=np.float64))
+        for t in inputs
+    ]
+    for t in inputs:
+        t.requires_grad = True
+        t.zero_grad()
+    out = fn(*inputs)
+    out.sum().backward()
+    for i, t in enumerate(inputs):
+        expected = numerical_gradient(fn, inputs, i, eps=eps)
+        actual = t.grad if t.grad is not None else np.zeros_like(t.data)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(actual - expected))
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs error {worst:.3e}\n"
+                f"analytic:\n{actual}\nnumeric:\n{expected}"
+            )

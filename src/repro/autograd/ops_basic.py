@@ -1,0 +1,372 @@
+"""Elementwise arithmetic operations with broadcasting-aware gradients.
+
+Importing this module attaches the standard Python operator overloads
+(``+``, ``-``, ``*``, ``/``, ``**``, unary ``-``) and elementwise math
+methods (``exp``, ``log``, ``sqrt``, ...) onto :class:`~repro.autograd.Tensor`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .engine import Function, Tensor, as_tensor
+
+__all__ = [
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "pow_",
+    "exp",
+    "log",
+    "sqrt",
+    "abs_",
+    "clip",
+    "sign",
+    "maximum",
+    "minimum",
+    "where",
+]
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    Broadcasting in the forward pass implicitly replicates values; the
+    corresponding adjoint operation is summation over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(
+        i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1
+    )
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Add(Function):
+    """Elementwise addition with broadcasting."""
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save_for_backward(a.shape, b.shape)
+        return a + b
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        a_shape, b_shape = ctx.saved
+        return (
+            unbroadcast(grad_output, a_shape),
+            unbroadcast(grad_output, b_shape),
+        )
+
+
+class Sub(Function):
+    """Elementwise subtraction with broadcasting."""
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save_for_backward(a.shape, b.shape)
+        return a - b
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        a_shape, b_shape = ctx.saved
+        return (
+            unbroadcast(grad_output, a_shape),
+            unbroadcast(-grad_output, b_shape),
+        )
+
+
+class Mul(Function):
+    """Elementwise multiplication with broadcasting."""
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save_for_backward(a, b)
+        return a * b
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        a, b = ctx.saved
+        return (
+            unbroadcast(grad_output * b, a.shape),
+            unbroadcast(grad_output * a, b.shape),
+        )
+
+
+class Div(Function):
+    """Elementwise division with broadcasting."""
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save_for_backward(a, b)
+        return a / b
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        a, b = ctx.saved
+        return (
+            unbroadcast(grad_output / b, a.shape),
+            unbroadcast(-grad_output * a / (b * b), b.shape),
+        )
+
+
+class Neg(Function):
+    """Elementwise negation."""
+    @staticmethod
+    def forward(ctx, a):
+        return -a
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        return (-grad_output,)
+
+
+class Pow(Function):
+    """Elementwise power with a constant exponent."""
+    @staticmethod
+    def forward(ctx, a, exponent):
+        ctx.save_for_backward(a, exponent)
+        return a ** exponent
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        a, exponent = ctx.saved
+        return (grad_output * exponent * a ** (exponent - 1), None)
+
+
+class Exp(Function):
+    """Elementwise exponential."""
+    @staticmethod
+    def forward(ctx, a):
+        out = np.exp(a)
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        (out,) = ctx.saved
+        return (grad_output * out,)
+
+
+class Log(Function):
+    """Elementwise natural logarithm."""
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save_for_backward(a)
+        return np.log(a)
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        (a,) = ctx.saved
+        return (grad_output / a,)
+
+
+class Sqrt(Function):
+    """Elementwise square root."""
+    @staticmethod
+    def forward(ctx, a):
+        out = np.sqrt(a)
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        (out,) = ctx.saved
+        return (grad_output / (2.0 * out),)
+
+
+class Abs(Function):
+    """Elementwise absolute value (sign subgradient at 0)."""
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save_for_backward(np.sign(a))
+        return np.abs(a)
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        (sgn,) = ctx.saved
+        return (grad_output * sgn,)
+
+
+class Clip(Function):
+    """Elementwise clamp; gradient flows only through the interior."""
+
+    @staticmethod
+    def forward(ctx, a, low, high):
+        mask = (a >= low) & (a <= high)
+        ctx.save_for_backward(mask)
+        return np.clip(a, low, high)
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        (mask,) = ctx.saved
+        return (grad_output * mask, None, None)
+
+
+class Maximum(Function):
+    """Elementwise maximum; ties route gradient to the first arg."""
+    @staticmethod
+    def forward(ctx, a, b):
+        mask = a >= b
+        ctx.save_for_backward(mask, a.shape, b.shape)
+        return np.maximum(a, b)
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        mask, a_shape, b_shape = ctx.saved
+        return (
+            unbroadcast(grad_output * mask, a_shape),
+            unbroadcast(grad_output * ~mask, b_shape),
+        )
+
+
+class Minimum(Function):
+    """Elementwise minimum; ties route gradient to the first arg."""
+    @staticmethod
+    def forward(ctx, a, b):
+        mask = a <= b
+        ctx.save_for_backward(mask, a.shape, b.shape)
+        return np.minimum(a, b)
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        mask, a_shape, b_shape = ctx.saved
+        return (
+            unbroadcast(grad_output * mask, a_shape),
+            unbroadcast(grad_output * ~mask, b_shape),
+        )
+
+
+class Where(Function):
+    """``where(condition, a, b)``; the condition is non-differentiable."""
+
+    @staticmethod
+    def forward(ctx, condition, a, b):
+        cond = condition.astype(bool)
+        ctx.save_for_backward(cond, a.shape, b.shape)
+        return np.where(cond, a, b)
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        cond, a_shape, b_shape = ctx.saved
+        return (
+            None,
+            unbroadcast(grad_output * cond, a_shape),
+            unbroadcast(grad_output * ~cond, b_shape),
+        )
+
+
+# ----------------------------------------------------------------------
+# public functional API
+# ----------------------------------------------------------------------
+def add(a, b):
+    """Elementwise ``a + b`` with broadcasting."""
+    return Add.apply(as_tensor(a), as_tensor(b))
+
+
+def sub(a, b):
+    """Elementwise ``a - b`` with broadcasting."""
+    return Sub.apply(as_tensor(a), as_tensor(b))
+
+
+def mul(a, b):
+    """Elementwise ``a * b`` with broadcasting."""
+    return Mul.apply(as_tensor(a), as_tensor(b))
+
+
+def div(a, b):
+    """Elementwise ``a / b`` with broadcasting."""
+    return Div.apply(as_tensor(a), as_tensor(b))
+
+
+def neg(a):
+    """Elementwise ``-a``."""
+    return Neg.apply(as_tensor(a))
+
+
+def pow_(a, exponent):
+    """Elementwise ``a ** exponent`` for a constant exponent."""
+    if isinstance(exponent, Tensor):
+        raise TypeError("tensor exponents are not supported; use exp/log")
+    return Pow.apply(as_tensor(a), exponent)
+
+
+def exp(a):
+    """Elementwise ``exp(a)``."""
+    return Exp.apply(as_tensor(a))
+
+
+def log(a):
+    """Elementwise natural log of ``a``."""
+    return Log.apply(as_tensor(a))
+
+
+def sqrt(a):
+    """Elementwise square root of ``a``."""
+    return Sqrt.apply(as_tensor(a))
+
+
+def abs_(a):
+    """Elementwise absolute value of ``a``."""
+    return Abs.apply(as_tensor(a))
+
+
+def clip(a, low, high):
+    """Differentiable clamp of ``a`` into ``[low, high]``."""
+    return Clip.apply(as_tensor(a), float(low), float(high))
+
+
+def sign(a) -> Tensor:
+    """Elementwise sign.  Non-differentiable: the result is detached."""
+    a = as_tensor(a)
+    return Tensor(np.sign(a.data))
+
+
+def maximum(a, b):
+    """Elementwise maximum of two tensors."""
+    return Maximum.apply(as_tensor(a), as_tensor(b))
+
+
+def minimum(a, b):
+    """Elementwise minimum of two tensors."""
+    return Minimum.apply(as_tensor(a), as_tensor(b))
+
+
+def where(condition, a, b):
+    """Elementwise select: ``a`` where condition else ``b``."""
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    return Where.apply(Tensor(cond.astype(np.float64)), as_tensor(a), as_tensor(b))
+
+
+# ----------------------------------------------------------------------
+# operator overloads on Tensor
+# ----------------------------------------------------------------------
+Tensor.__add__ = add
+Tensor.__radd__ = lambda self, other: add(other, self)
+Tensor.__sub__ = sub
+Tensor.__rsub__ = lambda self, other: sub(other, self)
+Tensor.__mul__ = mul
+Tensor.__rmul__ = lambda self, other: mul(other, self)
+Tensor.__truediv__ = div
+Tensor.__rtruediv__ = lambda self, other: div(other, self)
+Tensor.__neg__ = neg
+Tensor.__pow__ = pow_
+
+Tensor.exp = exp
+Tensor.log = log
+Tensor.sqrt = sqrt
+Tensor.abs = abs_
+Tensor.clip = clip
+Tensor.sign = sign
+
+# Comparison operators produce detached boolean tensors; they are used for
+# masking, never differentiated through.
+Tensor.__gt__ = lambda self, other: Tensor(self.data > as_tensor(other).data)
+Tensor.__lt__ = lambda self, other: Tensor(self.data < as_tensor(other).data)
+Tensor.__ge__ = lambda self, other: Tensor(self.data >= as_tensor(other).data)
+Tensor.__le__ = lambda self, other: Tensor(self.data <= as_tensor(other).data)

@@ -1,0 +1,305 @@
+"""Neural-network operations: matmul, activations, softmax, conv, pooling.
+
+Importing this module attaches ``matmul``/``@`` and activation methods onto
+:class:`~repro.autograd.Tensor`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._im2col import col2im, conv_output_size, im2col
+from .engine import Function, Tensor, as_tensor
+from .ops_reduce import logsumexp
+
+__all__ = [
+    "matmul",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "dropout_mask",
+]
+
+
+class MatMul(Function):
+    """Matrix multiplication (supports batched operands)."""
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save_for_backward(a, b)
+        return a @ b
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        a, b = ctx.saved
+        grad_a = grad_output @ np.swapaxes(b, -1, -2)
+        grad_b = np.swapaxes(a, -1, -2) @ grad_output
+        # Batched matmul may broadcast leading dims; sum them back.
+        from .ops_basic import unbroadcast
+
+        return unbroadcast(grad_a, a.shape), unbroadcast(grad_b, b.shape)
+
+
+class ReLU(Function):
+    """Rectified linear unit."""
+    @staticmethod
+    def forward(ctx, a):
+        mask = a > 0
+        ctx.save_for_backward(mask)
+        return a * mask
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        (mask,) = ctx.saved
+        return (grad_output * mask,)
+
+
+class LeakyReLU(Function):
+    """Leaky ReLU with configurable negative slope."""
+    @staticmethod
+    def forward(ctx, a, negative_slope=0.01):
+        mask = a > 0
+        ctx.save_for_backward(mask, negative_slope)
+        return np.where(mask, a, negative_slope * a)
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        mask, slope = ctx.saved
+        return (np.where(mask, grad_output, slope * grad_output),)
+
+
+class Sigmoid(Function):
+    """Logistic sigmoid."""
+    @staticmethod
+    def forward(ctx, a):
+        out = 1.0 / (1.0 + np.exp(-a))
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        (out,) = ctx.saved
+        return (grad_output * out * (1.0 - out),)
+
+
+class Tanh(Function):
+    """Hyperbolic tangent."""
+    @staticmethod
+    def forward(ctx, a):
+        out = np.tanh(a)
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        (out,) = ctx.saved
+        return (grad_output * (1.0 - out * out),)
+
+
+class Softmax(Function):
+    """Softmax along an axis (stable shift-by-max form)."""
+    @staticmethod
+    def forward(ctx, a, axis=-1):
+        shifted = a - a.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out = exp / exp.sum(axis=axis, keepdims=True)
+        ctx.save_for_backward(out, axis)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        out, axis = ctx.saved
+        dot = (grad_output * out).sum(axis=axis, keepdims=True)
+        return (out * (grad_output - dot),)
+
+
+class Conv2d(Function):
+    """2-D cross-correlation over NCHW inputs via im2col + GEMM."""
+
+    @staticmethod
+    def forward(ctx, x, weight, bias=None, stride=1, padding=0):
+        n, c_in, h, w = x.shape
+        c_out, c_in_w, kh, kw = weight.shape
+        if c_in != c_in_w:
+            raise ValueError(
+                f"input has {c_in} channels but weight expects {c_in_w}"
+            )
+        out_h = conv_output_size(h, kh, stride, padding)
+        out_w = conv_output_size(w, kw, stride, padding)
+        cols = im2col(x, kh, kw, stride, padding)
+        w_mat = weight.reshape(c_out, -1)
+        out = cols @ w_mat.T
+        if bias is not None:
+            out = out + bias
+        out = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+        ctx.save_for_backward(
+            cols, weight, x.shape, stride, padding, bias is not None
+        )
+        return out
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        cols, weight, x_shape, stride, padding, has_bias = ctx.saved
+        c_out, c_in, kh, kw = weight.shape
+        # grad_output: (N, C_out, out_h, out_w) -> (N*out_h*out_w, C_out)
+        grad_mat = grad_output.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        grad_weight = (grad_mat.T @ cols).reshape(weight.shape)
+        grad_bias = grad_mat.sum(axis=0) if has_bias else None
+        grad_cols = grad_mat @ weight.reshape(c_out, -1)
+        grad_x = col2im(grad_cols, x_shape, kh, kw, stride, padding)
+        return grad_x, grad_weight, grad_bias
+
+
+class MaxPool2d(Function):
+    """Max pooling over square windows (argmax gradient routing)."""
+    @staticmethod
+    def forward(ctx, x, kernel_size=2, stride=None, padding=0):
+        stride = stride or kernel_size
+        n, c, h, w = x.shape
+        out_h = conv_output_size(h, kernel_size, stride, padding)
+        out_w = conv_output_size(w, kernel_size, stride, padding)
+        cols = im2col(x, kernel_size, kernel_size, stride, padding)
+        cols = cols.reshape(-1, c, kernel_size * kernel_size)
+        # rows of `cols` are (N*out_h*out_w, C, K*K)
+        argmax = cols.argmax(axis=2)
+        out = np.take_along_axis(cols, argmax[..., None], axis=2)[..., 0]
+        out = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+        ctx.save_for_backward(
+            argmax, x.shape, kernel_size, stride, padding, cols.shape
+        )
+        return out
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        argmax, x_shape, kernel_size, stride, padding, cols_shape = ctx.saved
+        n, c, h, w = x_shape
+        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(-1, c)
+        grad_cols = np.zeros(cols_shape, dtype=grad_output.dtype)
+        np.put_along_axis(grad_cols, argmax[..., None], grad_flat[..., None], axis=2)
+        grad_cols = grad_cols.reshape(grad_cols.shape[0], -1)
+        grad_x = col2im(
+            grad_cols, x_shape, kernel_size, kernel_size, stride, padding
+        )
+        return (grad_x,)
+
+
+class AvgPool2d(Function):
+    """Average pooling over square windows."""
+    @staticmethod
+    def forward(ctx, x, kernel_size=2, stride=None, padding=0):
+        stride = stride or kernel_size
+        n, c, h, w = x.shape
+        out_h = conv_output_size(h, kernel_size, stride, padding)
+        out_w = conv_output_size(w, kernel_size, stride, padding)
+        cols = im2col(x, kernel_size, kernel_size, stride, padding)
+        cols = cols.reshape(-1, c, kernel_size * kernel_size)
+        out = cols.mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+        ctx.save_for_backward(x.shape, kernel_size, stride, padding)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        x_shape, kernel_size, stride, padding = ctx.saved
+        n, c, h, w = x_shape
+        k2 = kernel_size * kernel_size
+        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(-1, c)
+        grad_cols = np.repeat(grad_flat[..., None] / k2, k2, axis=2)
+        grad_cols = grad_cols.reshape(grad_cols.shape[0], -1)
+        grad_x = col2im(
+            grad_cols, x_shape, kernel_size, kernel_size, stride, padding
+        )
+        return (grad_x,)
+
+
+class DropoutMask(Function):
+    """Multiply by a fixed (pre-drawn) mask; used by the Dropout layer."""
+
+    @staticmethod
+    def forward(ctx, a, mask):
+        ctx.save_for_backward(mask)
+        return a * mask
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        (mask,) = ctx.saved
+        return (grad_output * mask, None)
+
+
+# ----------------------------------------------------------------------
+# public functional API
+# ----------------------------------------------------------------------
+def matmul(a, b):
+    """Matrix product ``a @ b``."""
+    return MatMul.apply(as_tensor(a), as_tensor(b))
+
+
+def relu(a):
+    """Elementwise ``max(a, 0)``."""
+    return ReLU.apply(as_tensor(a))
+
+
+def leaky_relu(a, negative_slope: float = 0.01):
+    """Leaky ReLU of ``a``."""
+    return LeakyReLU.apply(as_tensor(a), negative_slope=negative_slope)
+
+
+def sigmoid(a):
+    """Elementwise logistic sigmoid of ``a``."""
+    return Sigmoid.apply(as_tensor(a))
+
+
+def tanh(a):
+    """Elementwise tanh of ``a``."""
+    return Tanh.apply(as_tensor(a))
+
+
+def softmax(a, axis: int = -1):
+    """Softmax of ``a`` along ``axis``."""
+    return Softmax.apply(as_tensor(a), axis=axis)
+
+
+def log_softmax(a, axis: int = -1):
+    """Numerically stable ``log(softmax(a))`` built on logsumexp."""
+    a = as_tensor(a)
+    return a - logsumexp(a, axis=axis, keepdims=True)
+
+
+def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0):
+    """2-D convolution (cross-correlation) over an NCHW batch."""
+    args = [as_tensor(x), as_tensor(weight)]
+    if bias is not None:
+        args.append(as_tensor(bias))
+        return Conv2d.apply(*args, stride=stride, padding=padding)
+    return Conv2d.apply(args[0], args[1], None, stride=stride, padding=padding)
+
+
+def max_pool2d(x, kernel_size: int = 2, stride=None, padding: int = 0):
+    """Max pooling over square windows of an NCHW batch."""
+    return MaxPool2d.apply(
+        as_tensor(x), kernel_size=kernel_size, stride=stride, padding=padding
+    )
+
+
+def avg_pool2d(x, kernel_size: int = 2, stride=None, padding: int = 0):
+    """Average pooling over square windows of an NCHW batch."""
+    return AvgPool2d.apply(
+        as_tensor(x), kernel_size=kernel_size, stride=stride, padding=padding
+    )
+
+
+def dropout_mask(a, mask):
+    """Apply a precomputed dropout mask (already scaled by 1/keep_prob)."""
+    return DropoutMask.apply(as_tensor(a), np.asarray(mask))
+
+
+Tensor.__matmul__ = matmul
+Tensor.relu = relu
+Tensor.sigmoid = sigmoid
+Tensor.tanh = tanh
+Tensor.softmax = softmax
+Tensor.log_softmax = log_softmax

@@ -1,0 +1,176 @@
+"""Shape-manipulation operations (reshape, transpose, indexing, concat, pad).
+
+Importing this module attaches the shape methods onto
+:class:`~repro.autograd.Tensor`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .engine import Function, Tensor, as_tensor
+
+__all__ = [
+    "reshape",
+    "transpose",
+    "getitem",
+    "concat",
+    "stack",
+    "pad",
+    "broadcast_to",
+    "flatten",
+]
+
+
+class Reshape(Function):
+    """View with a new shape."""
+    @staticmethod
+    def forward(ctx, a, shape):
+        ctx.save_for_backward(a.shape)
+        return a.reshape(shape)
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        (input_shape,) = ctx.saved
+        return (grad_output.reshape(input_shape), None)
+
+
+class Transpose(Function):
+    """Axis permutation."""
+    @staticmethod
+    def forward(ctx, a, axes=None):
+        if axes is None:
+            axes = tuple(reversed(range(a.ndim)))
+        ctx.save_for_backward(tuple(np.argsort(axes)))
+        return a.transpose(axes)
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        (inverse,) = ctx.saved
+        return (grad_output.transpose(inverse), None)
+
+
+class GetItem(Function):
+    """Indexing/slicing; scatter-adds gradients on repeats."""
+    @staticmethod
+    def forward(ctx, a, index):
+        ctx.save_for_backward(a.shape, a.dtype, index)
+        return a[index]
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        input_shape, dtype, index = ctx.saved
+        grad = np.zeros(input_shape, dtype=dtype)
+        # add.at handles repeated indices (fancy indexing) correctly.
+        np.add.at(grad, index, grad_output)
+        return (grad, None)
+
+
+class Concat(Function):
+    """Concatenation along an axis."""
+    @staticmethod
+    def forward(ctx, *arrays, axis=0):
+        ctx.save_for_backward(axis, [a.shape[axis] for a in arrays])
+        return np.concatenate(arrays, axis=axis)
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        axis, sizes = ctx.saved
+        splits = np.cumsum(sizes)[:-1]
+        return tuple(np.split(grad_output, splits, axis=axis))
+
+
+class Pad(Function):
+    """Zero padding with ``numpy.pad``-style ``pad_width``."""
+
+    @staticmethod
+    def forward(ctx, a, pad_width):
+        ctx.save_for_backward(pad_width, a.shape)
+        return np.pad(a, pad_width, mode="constant")
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        pad_width, input_shape = ctx.saved
+        slices = tuple(
+            slice(before, before + size)
+            for (before, _after), size in zip(pad_width, input_shape)
+        )
+        return (grad_output[slices], None)
+
+
+class BroadcastTo(Function):
+    """Explicit broadcast to a target shape."""
+    @staticmethod
+    def forward(ctx, a, shape):
+        ctx.save_for_backward(a.shape)
+        return np.broadcast_to(a, shape).copy()
+
+    @staticmethod
+    def backward(ctx, grad_output):
+        from .ops_basic import unbroadcast
+
+        (input_shape,) = ctx.saved
+        return (unbroadcast(grad_output, input_shape), None)
+
+
+def reshape(a, *shape):
+    """Reshape ``a`` (accepts a tuple or varargs)."""
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Reshape.apply(as_tensor(a), shape)
+
+
+def transpose(a, axes=None):
+    """Permute the axes of ``a`` (default: reverse)."""
+    return Transpose.apply(as_tensor(a), axes)
+
+
+def getitem(a, index):
+    """Differentiable ``a[index]``."""
+    if isinstance(index, Tensor):
+        index = index.data
+    if isinstance(index, tuple):
+        index = tuple(
+            i.data if isinstance(i, Tensor) else i for i in index
+        )
+    return GetItem.apply(as_tensor(a), index)
+
+
+def concat(tensors, axis=0):
+    """Concatenate tensors along ``axis``."""
+    return Concat.apply(*[as_tensor(t) for t in tensors], axis=axis)
+
+
+def stack(tensors, axis=0):
+    """Stack tensors along a new ``axis``."""
+    expanded = []
+    for t in tensors:
+        t = as_tensor(t)
+        new_shape = list(t.shape)
+        new_shape.insert(axis if axis >= 0 else axis + t.ndim + 1, 1)
+        expanded.append(reshape(t, tuple(new_shape)))
+    return concat(expanded, axis=axis)
+
+
+def pad(a, pad_width):
+    """Zero-pad ``a`` with numpy-style ``pad_width``."""
+    pad_width = tuple(tuple(int(x) for x in pair) for pair in pad_width)
+    return Pad.apply(as_tensor(a), pad_width)
+
+
+def broadcast_to(a, shape):
+    """Broadcast ``a`` to ``shape``."""
+    return BroadcastTo.apply(as_tensor(a), tuple(shape))
+
+
+def flatten(a, start_axis: int = 1):
+    """Collapse all dimensions from ``start_axis`` onwards."""
+    a = as_tensor(a)
+    lead = a.shape[:start_axis]
+    return reshape(a, lead + (-1,))
+
+
+Tensor.reshape = reshape
+Tensor.transpose = transpose
+Tensor.__getitem__ = getitem
+Tensor.flatten = flatten

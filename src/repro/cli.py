@@ -1,0 +1,177 @@
+"""Command-line interface: regenerate any paper artefact from the shell.
+
+Usage::
+
+    python -m repro table1  --dataset digits --scale medium
+    python -m repro figure1 --dataset fashion --scale smoke
+    python -m repro figure2 --dataset digits
+    python -m repro ablate  --knob step_size
+    python -m repro audit   --defense proposed
+
+Artefacts are printed and optionally saved as JSON via ``--save``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .experiments import (
+    paper_scale,
+    run_figure1,
+    run_figure2,
+    run_reset_interval_ablation,
+    run_step_size_ablation,
+    run_table1,
+    smoke_scale,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _config_for(args) -> "ExperimentConfig":
+    if args.scale == "paper":
+        return paper_scale(args.dataset)
+    if args.scale == "medium":
+        return paper_scale(
+            args.dataset, train_per_class=150, test_per_class=40, epochs=60
+        )
+    return smoke_scale(args.dataset)
+
+
+def _cmd_table1(args) -> int:
+    result = run_table1(_config_for(args), verbose=args.verbose)
+    print(result.render())
+    if args.save:
+        result.save(args.save)
+    return 0
+
+
+def _cmd_figure1(args) -> int:
+    result = run_figure1(_config_for(args), verbose=args.verbose)
+    print(result.render())
+    if args.save:
+        result.save(args.save)
+    return 0
+
+
+def _cmd_figure2(args) -> int:
+    result = run_figure2(_config_for(args), verbose=args.verbose)
+    print(result.render())
+    if args.save:
+        result.save(args.save)
+    return 0
+
+
+def _cmd_ablate(args) -> int:
+    config = _config_for(args)
+    runner = (
+        run_step_size_ablation
+        if args.knob == "step_size"
+        else run_reset_interval_ablation
+    )
+    result = runner(config, verbose=args.verbose)
+    print(result.render())
+    if args.save:
+        result.save(args.save)
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    """Train one defense and run the gradient-masking diagnostics on it."""
+    from .data import DataLoader, load_dataset
+    from .defenses import build_trainer
+    from .eval import RobustnessEvaluator, gradient_masking_report
+    from .models import build_model
+
+    config = _config_for(args)
+    train, test = load_dataset(
+        config.dataset,
+        train_per_class=config.train_per_class,
+        test_per_class=config.test_per_class,
+        seed=config.seed,
+    )
+    model = build_model(config.model, seed=config.seed)
+    kwargs = {} if args.defense == "vanilla" else {
+        "warmup_epochs": config.warmup_epochs
+    }
+    trainer = build_trainer(
+        args.defense, model, epsilon=config.resolved_epsilon,
+        lr=config.lr, **kwargs,
+    )
+    trainer.fit(
+        DataLoader(train, batch_size=config.batch_size, rng=config.seed),
+        epochs=config.epochs,
+        verbose=args.verbose,
+    )
+    x, y = test.arrays()
+    suite = RobustnessEvaluator.paper_suite(config.resolved_epsilon)
+    print(f"robust accuracy: {suite.evaluate(model, x, y)}")
+    report = gradient_masking_report(
+        model, x, y, epsilon=config.resolved_epsilon
+    )
+    print(report.render())
+    return 1 if report.suspicious else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce artefacts from Liu et al. (DSN-W 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument(
+            "--dataset", choices=("digits", "fashion"), default="digits"
+        )
+        p.add_argument(
+            "--scale", choices=("smoke", "medium", "paper"), default="medium"
+        )
+        p.add_argument("--save", default="", help="JSON output path")
+        p.add_argument("--verbose", action="store_true")
+
+    p_table = sub.add_parser("table1", help="regenerate Table I")
+    add_common(p_table)
+    p_table.set_defaults(func=_cmd_table1)
+
+    p_fig1 = sub.add_parser("figure1", help="regenerate Figure 1")
+    add_common(p_fig1)
+    p_fig1.set_defaults(func=_cmd_figure1)
+
+    p_fig2 = sub.add_parser("figure2", help="regenerate Figure 2")
+    add_common(p_fig2)
+    p_fig2.set_defaults(func=_cmd_figure2)
+
+    p_abl = sub.add_parser("ablate", help="design-choice ablations")
+    add_common(p_abl)
+    p_abl.add_argument(
+        "--knob", choices=("step_size", "reset_interval"),
+        default="step_size",
+    )
+    p_abl.set_defaults(func=_cmd_ablate)
+
+    p_audit = sub.add_parser(
+        "audit", help="train one defense + masking diagnostics"
+    )
+    add_common(p_audit)
+    p_audit.add_argument(
+        "--defense",
+        default="proposed",
+        help="defense registry name (e.g. proposed, atda, bim10_adv)",
+    )
+    p_audit.set_defaults(func=_cmd_audit)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

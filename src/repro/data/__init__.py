@@ -1,0 +1,46 @@
+"""Data pipeline: datasets, loaders, transforms, synthetic generators."""
+
+from .corruptions import CORRUPTIONS, corrupt, corruption_sweep
+from .dataset import (
+    ConcatDataset,
+    Dataset,
+    Subset,
+    TensorDataset,
+    train_test_split,
+)
+from .loader import Batch, DataLoader
+from .synthetic import (
+    SyntheticDigits,
+    SyntheticFashion,
+    dataset_epsilon,
+    load_dataset,
+)
+from .transforms import (
+    ClipToUnit,
+    Compose,
+    GaussianNoise,
+    Normalize,
+    RandomShift,
+)
+
+__all__ = [
+    "Dataset",
+    "TensorDataset",
+    "Subset",
+    "ConcatDataset",
+    "train_test_split",
+    "Batch",
+    "DataLoader",
+    "SyntheticDigits",
+    "SyntheticFashion",
+    "load_dataset",
+    "dataset_epsilon",
+    "Compose",
+    "Normalize",
+    "ClipToUnit",
+    "GaussianNoise",
+    "RandomShift",
+    "CORRUPTIONS",
+    "corrupt",
+    "corruption_sweep",
+]

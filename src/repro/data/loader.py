@@ -1,0 +1,89 @@
+"""Minibatch loader with deterministic shuffling.
+
+Unlike a torch ``DataLoader`` there are no worker processes — numpy slicing
+is already the bottleneck-free path here — but the interface (iterate to get
+``(x_batch, y_batch, indices)``) is familiar.
+
+Batches also expose the *dataset indices* of their examples.  The proposed
+defense (epoch-wise adversarial training) needs those to persist and re-use
+per-example adversarial perturbations across epochs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+import numpy as np
+
+from ..utils.rng import RngLike, ensure_rng
+from .dataset import Dataset
+
+__all__ = ["Batch", "DataLoader"]
+
+
+class Batch(NamedTuple):
+    """A minibatch: examples, integer labels and their dataset indices."""
+
+    x: np.ndarray
+    y: np.ndarray
+    indices: np.ndarray
+
+
+class DataLoader:
+    """Iterate a dataset in minibatches.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Number of examples per batch.
+    shuffle:
+        Reshuffle example order at the start of every iteration pass.
+    drop_last:
+        Drop the trailing partial batch.
+    rng:
+        Seed or generator controlling the shuffle order.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: RngLike = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if len(dataset) == 0:
+            raise ValueError("cannot iterate an empty dataset")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = ensure_rng(rng)
+        # Materialise once: synthetic datasets are in-memory anyway and this
+        # keeps batch slicing cheap.
+        self._examples, self._labels = dataset.arrays()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Batch]:
+        n = len(self.dataset)
+        order = (
+            self._rng.permutation(n) if self.shuffle else np.arange(n)
+        )
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            yield Batch(
+                x=self._examples[idx],
+                y=self._labels[idx],
+                indices=idx,
+            )

@@ -1,0 +1,17 @@
+"""Synthetic image datasets substituting for MNIST / Fashion-MNIST."""
+
+from .digits import DIGIT_STROKES, SyntheticDigits, generate_digits
+from .fashion import FASHION_CLASS_NAMES, SyntheticFashion, generate_fashion
+from .registry import DATASET_BUILDERS, dataset_epsilon, load_dataset
+
+__all__ = [
+    "SyntheticDigits",
+    "generate_digits",
+    "DIGIT_STROKES",
+    "SyntheticFashion",
+    "generate_fashion",
+    "FASHION_CLASS_NAMES",
+    "DATASET_BUILDERS",
+    "load_dataset",
+    "dataset_epsilon",
+]

@@ -1,0 +1,243 @@
+"""Synthetic handwritten-digit dataset (MNIST substitute).
+
+Each of the ten classes is defined by one or more prototype stroke sets
+(polylines in the unit square).  A sample is drawn by picking a prototype,
+jittering its control points, applying a random affine transform, and
+rasterising with a random stroke width — yielding MNIST-like intra-class
+variation while staying fully offline and deterministic under a seed.
+
+See DESIGN.md ("Substitutions") for why this preserves the phenomena the
+paper studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ...utils.rng import RngLike, ensure_rng, spawn_rngs
+from ..dataset import TensorDataset
+from .render import (
+    add_pixel_noise,
+    affine_points,
+    pixel_grid,
+    random_affine,
+    render_polyline,
+)
+
+__all__ = ["DIGIT_STROKES", "SyntheticDigits", "generate_digits"]
+
+
+def _circle(
+    cx: float, cy: float, rx: float, ry: float, n: int = 12,
+    start: float = 0.0, end: float = 2 * np.pi,
+) -> List[Tuple[float, float]]:
+    """Polyline approximation of an elliptical arc."""
+    angles = np.linspace(start, end, n)
+    return [(cx + rx * np.cos(a), cy + ry * np.sin(a)) for a in angles]
+
+
+# Prototype strokes per class, unit-square coordinates, y grows downward.
+DIGIT_STROKES: Dict[int, List[List[List[Tuple[float, float]]]]] = {
+    0: [
+        [_circle(0.5, 0.5, 0.22, 0.33, n=16)],
+        [_circle(0.5, 0.5, 0.26, 0.30, n=16)],
+    ],
+    1: [
+        [[(0.5, 0.12), (0.5, 0.88)]],
+        [[(0.38, 0.25), (0.52, 0.12), (0.52, 0.88)]],
+    ],
+    2: [
+        [
+            [
+                (0.28, 0.28),
+                (0.38, 0.14),
+                (0.62, 0.14),
+                (0.72, 0.28),
+                (0.30, 0.84),
+                (0.74, 0.84),
+            ]
+        ],
+    ],
+    3: [
+        [
+            [
+                (0.30, 0.16),
+                (0.68, 0.18),
+                (0.72, 0.32),
+                (0.50, 0.48),
+                (0.72, 0.64),
+                (0.68, 0.80),
+                (0.30, 0.84),
+            ]
+        ],
+    ],
+    4: [
+        [
+            [(0.66, 0.88), (0.66, 0.12), (0.28, 0.60), (0.80, 0.60)],
+        ],
+        [
+            [(0.30, 0.15), (0.30, 0.55), (0.75, 0.55)],
+            [(0.66, 0.15), (0.66, 0.88)],
+        ],
+    ],
+    5: [
+        [
+            [
+                (0.72, 0.14),
+                (0.32, 0.14),
+                (0.30, 0.46),
+                (0.60, 0.44),
+                (0.73, 0.58),
+                (0.70, 0.76),
+                (0.30, 0.85),
+            ]
+        ],
+    ],
+    6: [
+        [
+            [(0.66, 0.14), (0.42, 0.32), (0.33, 0.55)]
+            + _circle(0.50, 0.65, 0.18, 0.20, n=12),
+        ],
+    ],
+    7: [
+        [[(0.26, 0.15), (0.74, 0.15), (0.44, 0.86)]],
+        [
+            [(0.26, 0.15), (0.74, 0.15), (0.44, 0.86)],
+            [(0.38, 0.5), (0.62, 0.5)],
+        ],
+    ],
+    8: [
+        [
+            _circle(0.5, 0.32, 0.17, 0.17, n=12),
+            _circle(0.5, 0.67, 0.20, 0.19, n=12),
+        ],
+    ],
+    9: [
+        [
+            _circle(0.50, 0.35, 0.18, 0.20, n=12),
+            [(0.67, 0.42), (0.62, 0.66), (0.48, 0.86)],
+        ],
+    ],
+}
+
+
+def _jitter_points(
+    polyline: Sequence[Tuple[float, float]],
+    rng: np.random.Generator,
+    amount: float,
+) -> np.ndarray:
+    points = np.asarray(polyline, dtype=np.float64)
+    return points + rng.normal(0.0, amount, size=points.shape)
+
+
+def _sharpen(image: np.ndarray) -> np.ndarray:
+    """Push stroke interiors toward 1 and background toward 0.
+
+    MNIST pixels are near-binary; that saturation is what makes robust
+    classification at eps = 0.3 feasible, so the substitute mimics it.
+    """
+    return 1.0 / (1.0 + np.exp(-(image - 0.42) / 0.07))
+
+
+def _render_digit(
+    label: int,
+    rng: np.random.Generator,
+    size: int,
+    point_jitter: float,
+    noise_std: float,
+) -> np.ndarray:
+    prototypes = DIGIT_STROKES[label]
+    strokes = prototypes[rng.integers(len(prototypes))]
+    params = random_affine(rng)
+    width = rng.uniform(0.055, 0.085)
+    grid = pixel_grid(size)
+    image = np.zeros((size, size), dtype=np.float64)
+    for polyline in strokes:
+        jittered = _jitter_points(polyline, rng, point_jitter)
+        transformed = affine_points(jittered, **params)
+        np.maximum(
+            image,
+            render_polyline(transformed, size=size, width=width, grid=grid),
+            out=image,
+        )
+    image = _sharpen(image)
+    return add_pixel_noise(
+        image, rng, noise_std=noise_std, intensity_range=(0.95, 1.0)
+    )
+
+
+def generate_digits(
+    num_per_class: int,
+    size: int = 28,
+    point_jitter: float = 0.012,
+    noise_std: float = 0.02,
+    rng: RngLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate a balanced synthetic digit set.
+
+    Returns
+    -------
+    examples:
+        Array of shape ``(10 * num_per_class, 1, size, size)`` in ``[0, 1]``.
+    labels:
+        Integer labels of shape ``(10 * num_per_class,)``.
+    """
+    if num_per_class <= 0:
+        raise ValueError(
+            f"num_per_class must be positive, got {num_per_class}"
+        )
+    generator = ensure_rng(rng)
+    class_rngs = spawn_rngs(generator, 10)
+    examples = np.empty(
+        (10 * num_per_class, 1, size, size), dtype=np.float64
+    )
+    labels = np.empty(10 * num_per_class, dtype=np.int64)
+    cursor = 0
+    for label in range(10):
+        class_rng = class_rngs[label]
+        for _ in range(num_per_class):
+            examples[cursor, 0] = _render_digit(
+                label, class_rng, size, point_jitter, noise_std
+            )
+            labels[cursor] = label
+            cursor += 1
+    # Interleave classes so truncated subsets stay balanced.
+    order = ensure_rng(generator).permutation(len(labels))
+    return examples[order], labels[order]
+
+
+class SyntheticDigits(TensorDataset):
+    """In-memory synthetic digit dataset (MNIST stand-in).
+
+    Parameters
+    ----------
+    num_per_class:
+        Examples generated per class.
+    size:
+        Image side length (paper: 28).
+    seed:
+        Generation seed; two datasets with the same seed are identical.
+    """
+
+    num_classes = 10
+    image_shape = (1, 28, 28)
+
+    def __init__(
+        self,
+        num_per_class: int = 200,
+        size: int = 28,
+        seed: int = 0,
+        point_jitter: float = 0.012,
+        noise_std: float = 0.02,
+    ) -> None:
+        examples, labels = generate_digits(
+            num_per_class,
+            size=size,
+            point_jitter=point_jitter,
+            noise_std=noise_std,
+            rng=seed,
+        )
+        super().__init__(examples, labels)
+        self.image_shape = (1, size, size)

@@ -1,0 +1,156 @@
+"""Rasterisation primitives for the synthetic image datasets.
+
+The synthetic datasets substitute for MNIST / Fashion-MNIST (unavailable
+offline; see DESIGN.md).  Images are drawn procedurally:
+
+* *digits* as anti-aliased polylines (distance-field rendering),
+* *fashion* items as filled silhouettes with texture.
+
+Everything here is pure numpy and deterministic given a generator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ...utils.rng import RngLike, ensure_rng
+
+__all__ = [
+    "pixel_grid",
+    "render_polyline",
+    "render_polylines",
+    "affine_points",
+    "random_affine",
+    "add_pixel_noise",
+]
+
+Point = Tuple[float, float]
+
+
+def pixel_grid(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(xs, ys)`` pixel-centre coordinates in the unit square."""
+    centers = (np.arange(size) + 0.5) / size
+    xs, ys = np.meshgrid(centers, centers)
+    return xs, ys
+
+
+def render_polyline(
+    points: Sequence[Point],
+    size: int = 28,
+    width: float = 0.06,
+    grid: Tuple[np.ndarray, np.ndarray] = None,
+) -> np.ndarray:
+    """Rasterise a polyline given in unit-square coordinates.
+
+    Intensity at a pixel decays as a Gaussian of its distance to the nearest
+    segment, giving smooth anti-aliased strokes.
+
+    Parameters
+    ----------
+    points:
+        Polyline vertices ``(x, y)`` with ``y`` growing downward.
+    size:
+        Output image side length.
+    width:
+        Stroke half-width in unit-square units.
+    grid:
+        Optional precomputed :func:`pixel_grid` for speed.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2 or len(points) < 2:
+        raise ValueError(
+            f"polyline must be an (M>=2, 2) array, got shape {points.shape}"
+        )
+    xs, ys = grid if grid is not None else pixel_grid(size)
+    image = np.zeros((size, size), dtype=np.float64)
+    starts = points[:-1]
+    ends = points[1:]
+    for (x0, y0), (x1, y1) in zip(starts, ends):
+        dx, dy = x1 - x0, y1 - y0
+        length_sq = dx * dx + dy * dy
+        if length_sq < 1e-12:
+            dist_sq = (xs - x0) ** 2 + (ys - y0) ** 2
+        else:
+            # Project each pixel onto the segment, clamp to [0, 1].
+            t = ((xs - x0) * dx + (ys - y0) * dy) / length_sq
+            t = np.clip(t, 0.0, 1.0)
+            px = x0 + t * dx
+            py = y0 + t * dy
+            dist_sq = (xs - px) ** 2 + (ys - py) ** 2
+        np.maximum(image, np.exp(-dist_sq / (2.0 * width * width)), out=image)
+    return image
+
+
+def render_polylines(
+    polylines: Sequence[Sequence[Point]],
+    size: int = 28,
+    width: float = 0.06,
+) -> np.ndarray:
+    """Rasterise several polylines onto a single canvas (max blend)."""
+    grid = pixel_grid(size)
+    image = np.zeros((size, size), dtype=np.float64)
+    for polyline in polylines:
+        np.maximum(
+            image,
+            render_polyline(polyline, size=size, width=width, grid=grid),
+            out=image,
+        )
+    return image
+
+
+def affine_points(
+    points: np.ndarray,
+    rotation: float = 0.0,
+    scale: float = 1.0,
+    shear: float = 0.0,
+    translation: Tuple[float, float] = (0.0, 0.0),
+    center: Tuple[float, float] = (0.5, 0.5),
+) -> np.ndarray:
+    """Apply an affine transform to unit-square points about ``center``."""
+    points = np.asarray(points, dtype=np.float64)
+    cx, cy = center
+    cos, sin = np.cos(rotation), np.sin(rotation)
+    rot = np.array([[cos, -sin], [sin, cos]])
+    shear_mat = np.array([[1.0, shear], [0.0, 1.0]])
+    matrix = scale * (rot @ shear_mat)
+    shifted = points - np.array([cx, cy])
+    transformed = shifted @ matrix.T + np.array([cx, cy]) + np.asarray(
+        translation
+    )
+    return transformed
+
+
+def random_affine(
+    rng: RngLike,
+    max_rotation: float = 0.25,
+    scale_range: Tuple[float, float] = (0.85, 1.15),
+    max_shear: float = 0.15,
+    max_translation: float = 0.08,
+) -> dict:
+    """Draw random affine parameters for :func:`affine_points`."""
+    generator = ensure_rng(rng)
+    return {
+        "rotation": generator.uniform(-max_rotation, max_rotation),
+        "scale": generator.uniform(*scale_range),
+        "shear": generator.uniform(-max_shear, max_shear),
+        "translation": tuple(
+            generator.uniform(-max_translation, max_translation, size=2)
+        ),
+    }
+
+
+def add_pixel_noise(
+    image: np.ndarray,
+    rng: RngLike,
+    noise_std: float = 0.05,
+    intensity_range: Tuple[float, float] = (0.85, 1.0),
+) -> np.ndarray:
+    """Apply intensity jitter plus additive Gaussian noise, clipped to [0,1]."""
+    generator = ensure_rng(rng)
+    intensity = generator.uniform(*intensity_range)
+    noisy = image * intensity
+    if noise_std > 0:
+        noisy = noisy + generator.normal(0.0, noise_std, size=image.shape)
+    return np.clip(noisy, 0.0, 1.0)

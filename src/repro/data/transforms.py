@@ -1,0 +1,105 @@
+"""Array transforms applied to image batches.
+
+Transforms are plain callables ``(N, C, H, W) -> (N, C, H, W)`` composed via
+:class:`Compose`.  They operate on numpy arrays (before tensors enter the
+autograd graph).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..utils.rng import RngLike, ensure_rng
+
+__all__ = [
+    "Compose",
+    "Normalize",
+    "ClipToUnit",
+    "GaussianNoise",
+    "RandomShift",
+]
+
+
+class Compose:
+    """Apply a sequence of transforms left to right."""
+
+    def __init__(self, transforms: Sequence[Callable]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            x = transform(x)
+        return x
+
+
+class Normalize:
+    """Shift-and-scale normalization ``(x - mean) / std``."""
+
+    def __init__(self, mean: float, std: float) -> None:
+        if std <= 0:
+            raise ValueError(f"std must be positive, got {std}")
+        self.mean = mean
+        self.std = std
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return (np.asarray(x) - self.mean) / self.std
+
+
+class ClipToUnit:
+    """Clamp pixel values into ``[0, 1]`` — the valid image box used by
+    all `l_inf` attacks in the paper."""
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(x), 0.0, 1.0)
+
+
+class GaussianNoise:
+    """Additive Gaussian pixel noise (data augmentation)."""
+
+    def __init__(self, std: float = 0.05, rng: RngLike = None) -> None:
+        if std < 0:
+            raise ValueError(f"std must be non-negative, got {std}")
+        self.std = std
+        self._rng = ensure_rng(rng)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if self.std == 0:
+            return x
+        return x + self._rng.normal(0.0, self.std, size=x.shape)
+
+
+class RandomShift:
+    """Random integer translation of each image, zero padded."""
+
+    def __init__(self, max_shift: int = 2, rng: RngLike = None) -> None:
+        if max_shift < 0:
+            raise ValueError(
+                f"max_shift must be non-negative, got {max_shift}"
+            )
+        self.max_shift = max_shift
+        self._rng = ensure_rng(rng)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if self.max_shift == 0:
+            return x
+        out = np.zeros_like(x)
+        for i in range(x.shape[0]):
+            dy, dx = self._rng.integers(
+                -self.max_shift, self.max_shift + 1, size=2
+            )
+            shifted = np.roll(x[i], (dy, dx), axis=(-2, -1))
+            # Zero the wrapped-around strips.
+            if dy > 0:
+                shifted[..., :dy, :] = 0
+            elif dy < 0:
+                shifted[..., dy:, :] = 0
+            if dx > 0:
+                shifted[..., :, :dx] = 0
+            elif dx < 0:
+                shifted[..., :, dx:] = 0
+            out[i] = shifted
+        return out

@@ -1,0 +1,133 @@
+"""Training callbacks: checkpointing and early stopping.
+
+Callbacks observe the training loop through :meth:`on_epoch_end` and can
+request a stop by returning ``True``.  They are deliberately minimal — the
+experiments in this repo run fixed schedules, but downstream users training
+to convergence (as the paper did) need both utilities.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..nn import Module
+from ..utils.serialization import load_state_dict, save_state_dict
+
+__all__ = ["Checkpointer", "EarlyStopping"]
+
+
+class Checkpointer:
+    """Persist model state during training.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints are written.
+    every:
+        Save every ``every`` epochs (``0`` disables periodic saves).
+    keep_best:
+        Also track the best metric value and save ``best.npz``.
+    mode:
+        ``"max"`` if larger metric is better (accuracy), ``"min"`` for loss.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        every: int = 0,
+        keep_best: bool = True,
+        mode: str = "max",
+    ) -> None:
+        if every < 0:
+            raise ValueError(f"every must be non-negative, got {every}")
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        self.directory = directory
+        self.every = every
+        self.keep_best = keep_best
+        self.mode = mode
+        self.best_value: Optional[float] = None
+        self.best_epoch: Optional[int] = None
+        os.makedirs(directory, exist_ok=True)
+
+    def _improved(self, value: float) -> bool:
+        if self.best_value is None:
+            return True
+        if self.mode == "max":
+            return value > self.best_value
+        return value < self.best_value
+
+    def on_epoch_end(
+        self, epoch: int, model: Module, metric: Optional[float] = None
+    ) -> bool:
+        """Save periodic and best checkpoints; never requests a stop."""
+        if self.every and epoch % self.every == 0:
+            save_state_dict(
+                os.path.join(self.directory, f"epoch_{epoch:04d}.npz"),
+                model.state_dict(),
+            )
+        if self.keep_best and metric is not None and self._improved(metric):
+            self.best_value = float(metric)
+            self.best_epoch = epoch
+            save_state_dict(
+                os.path.join(self.directory, "best.npz"), model.state_dict()
+            )
+        return False
+
+    def load_best(self, model: Module) -> Module:
+        """Restore the best checkpoint into ``model`` (in place)."""
+        path = os.path.join(self.directory, "best.npz")
+        model.load_state_dict(load_state_dict(path))
+        return model
+
+
+class EarlyStopping:
+    """Stop training when a metric stops improving.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive non-improving observations tolerated.
+    min_delta:
+        Minimum change that counts as an improvement.
+    mode:
+        ``"max"`` (accuracy-like) or ``"min"`` (loss-like).
+    """
+
+    def __init__(
+        self, patience: int = 5, min_delta: float = 0.0, mode: str = "max"
+    ) -> None:
+        if patience <= 0:
+            raise ValueError(f"patience must be positive, got {patience}")
+        if min_delta < 0:
+            raise ValueError(
+                f"min_delta must be non-negative, got {min_delta}"
+            )
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.mode = mode
+        self.best_value: Optional[float] = None
+        self.stale = 0
+
+    def _improved(self, value: float) -> bool:
+        if self.best_value is None:
+            return True
+        if self.mode == "max":
+            return value > self.best_value + self.min_delta
+        return value < self.best_value - self.min_delta
+
+    def on_epoch_end(
+        self, epoch: int, model: Module, metric: Optional[float] = None
+    ) -> bool:
+        """Return ``True`` when training should stop."""
+        if metric is None:
+            return False
+        if self._improved(metric):
+            self.best_value = float(metric)
+            self.stale = 0
+            return False
+        self.stale += 1
+        return self.stale >= self.patience

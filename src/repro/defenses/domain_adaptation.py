@@ -1,0 +1,142 @@
+"""Domain-adaptation losses used by the ATDA baseline (Song et al., 2018).
+
+ATDA treats clean and adversarial examples as two *domains* and regularises
+the classifier's embedding so the domains align:
+
+* **Unsupervised DA** — :func:`coral_loss` aligns second moments
+  (covariances) and :func:`mean_alignment_loss` aligns first moments of the
+  two embedding distributions.
+* **Supervised DA** — :func:`margin_center_loss` pulls each embedding
+  toward its class centre and pushes it at least ``margin`` away from every
+  other centre; :class:`ClassCenters` maintains the centres with an
+  exponential moving average (updated outside the autograd graph).
+
+All losses are differentiable w.r.t. the embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, as_tensor, relu
+from ..utils.validation import check_positive
+
+__all__ = [
+    "covariance",
+    "coral_loss",
+    "mean_alignment_loss",
+    "margin_center_loss",
+    "ClassCenters",
+]
+
+
+def covariance(embeddings: Tensor) -> Tensor:
+    """Sample covariance matrix of an ``(N, D)`` embedding batch."""
+    embeddings = as_tensor(embeddings)
+    if embeddings.ndim != 2:
+        raise ValueError(
+            f"embeddings must be (N, D), got shape {embeddings.shape}"
+        )
+    n = embeddings.shape[0]
+    centered = embeddings - embeddings.mean(axis=0, keepdims=True)
+    denom = max(n - 1, 1)
+    return (centered.transpose() @ centered) * (1.0 / denom)
+
+
+def coral_loss(clean_emb: Tensor, adv_emb: Tensor) -> Tensor:
+    """CORAL covariance-alignment loss, L1 form normalised by d^2."""
+    clean_emb = as_tensor(clean_emb)
+    adv_emb = as_tensor(adv_emb)
+    if clean_emb.shape[1] != adv_emb.shape[1]:
+        raise ValueError(
+            "embedding dimensions disagree: "
+            f"{clean_emb.shape[1]} vs {adv_emb.shape[1]}"
+        )
+    d = clean_emb.shape[1]
+    diff = covariance(clean_emb) - covariance(adv_emb)
+    return diff.abs().sum() * (1.0 / (d * d))
+
+
+def mean_alignment_loss(clean_emb: Tensor, adv_emb: Tensor) -> Tensor:
+    """First-moment alignment: L1 distance of the domain means over d."""
+    clean_emb = as_tensor(clean_emb)
+    adv_emb = as_tensor(adv_emb)
+    d = clean_emb.shape[1]
+    diff = clean_emb.mean(axis=0) - adv_emb.mean(axis=0)
+    return diff.abs().sum() * (1.0 / d)
+
+
+class ClassCenters:
+    """Per-class embedding centres maintained with an EMA.
+
+    Centres live outside the autograd graph: gradients flow into the
+    embeddings through the margin loss, not into the centres (matching the
+    ATDA training procedure).
+    """
+
+    def __init__(
+        self, num_classes: int, dim: int, momentum: float = 0.9
+    ) -> None:
+        check_positive("num_classes", num_classes)
+        check_positive("dim", dim)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
+        self.num_classes = num_classes
+        self.dim = dim
+        self.momentum = momentum
+        self.centers = np.zeros((num_classes, dim), dtype=np.float64)
+        self._initialized = np.zeros(num_classes, dtype=bool)
+
+    def update(self, embeddings: np.ndarray, labels: np.ndarray) -> None:
+        """EMA-update centres from a batch of (detached) embeddings."""
+        embeddings = np.asarray(
+            embeddings.data if isinstance(embeddings, Tensor) else embeddings
+        )
+        labels = np.asarray(labels)
+        for cls in np.unique(labels):
+            batch_mean = embeddings[labels == cls].mean(axis=0)
+            if self._initialized[cls]:
+                self.centers[cls] = (
+                    self.momentum * self.centers[cls]
+                    + (1.0 - self.momentum) * batch_mean
+                )
+            else:
+                self.centers[cls] = batch_mean
+                self._initialized[cls] = True
+
+    def as_array(self) -> np.ndarray:
+        """Copy of the current centre matrix ``(num_classes, dim)``."""
+        return self.centers.copy()
+
+
+def margin_center_loss(
+    embeddings: Tensor,
+    labels: np.ndarray,
+    centers: np.ndarray,
+    margin: float = 1.0,
+) -> Tensor:
+    """Supervised domain-adaptation margin loss.
+
+    For each example with embedding ``e`` and class ``y``::
+
+        sum_{k != y} max(0, margin + ||e - c_y||_1/d - ||e - c_k||_1/d)
+
+    averaged over examples and the ``K - 1`` negative classes.
+    """
+    embeddings = as_tensor(embeddings)
+    labels = np.asarray(labels)
+    centers = np.asarray(centers, dtype=np.float64)
+    n, d = embeddings.shape
+    k = centers.shape[0]
+    if k < 2:
+        raise ValueError("margin loss needs at least two classes")
+    # (N, K): mean L1 distance from each embedding to each centre.
+    expanded = embeddings.reshape(n, 1, d) - Tensor(centers.reshape(1, k, d))
+    distances = expanded.abs().mean(axis=2)
+    own = distances[np.arange(n), labels].reshape(n, 1)
+    violations = relu(own + margin - distances)
+    # Zero out the own-class column (margin vs itself is meaningless).
+    mask = np.ones((n, k))
+    mask[np.arange(n), labels] = 0.0
+    violations = violations * Tensor(mask)
+    return violations.sum() * (1.0 / (n * (k - 1)))

@@ -1,0 +1,162 @@
+"""The paper's proposed defense: epoch-wise single-step adversarial training.
+
+This is the contribution of Section IV (Figure 3b).  Instead of running the
+BIM inner loop to completion inside every epoch (Iter-Adv, Figure 3a), the
+trainer:
+
+1. keeps a **per-example cache** of adversarial examples carried across
+   epochs — the BIM iteration is amortised over the training epochs
+   (empirical property 2: intermediate iterates already reveal most blind
+   spots);
+2. applies exactly **one** perturbation step per example per epoch, using a
+   **relatively large per-step perturbation** (empirical property 1: tiny
+   steps stop paying off) so the cached examples quickly reach the full
+   budget;
+3. **resets** the cache to the clean examples every ``reset_interval``
+   epochs, so the accumulated perturbations track the long-term drift of
+   the classifier's parameters.
+
+Paper hyper-parameters: per-step size ``eps / 10``, reset every 20 epochs.
+Per-epoch cost is one extra forward/backward — the same as FGSM-Adv and far
+below BIM(k)-Adv's ``k`` — which yields Table I's timing column.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..attacks import BIM
+from ..autograd import Tensor
+from ..data.loader import Batch
+from ..nn import Module, cross_entropy
+from ..optim import Optimizer
+from ..utils.validation import check_in_unit_interval, check_positive
+from .trainer import Trainer
+
+__all__ = ["EpochwiseAdvTrainer"]
+
+
+class EpochwiseAdvTrainer(Trainer):
+    """Proposed Single-Adv method (Liu et al., 2019).
+
+    Parameters
+    ----------
+    model, optimizer, loss_fn, scheduler:
+        As in :class:`~repro.defenses.trainer.Trainer`.
+    epsilon:
+        Total l_inf budget; cached perturbations are always projected into
+        the epsilon-ball around the clean example and into the image box.
+    step_size:
+        Per-epoch perturbation step — the paper's "relatively large per
+        step perturbation".  The paper used ``epsilon / 10`` on a 60k-image
+        dataset trained for many epochs; on this repo's smaller, faster-
+        drifting substrate the calibrated equivalent is ``epsilon`` (the
+        default).  The ablation benchmark sweeps this factor and shows the
+        paper's property 1 trend: too-small steps cripple the defense.
+    reset_interval:
+        Cache reset period in epochs (paper: 20).  ``0`` disables resets.
+    clean_weight:
+        Mixture weight of the clean loss (0.5 as in the other defenses).
+    """
+
+    name = "epochwise_adv"
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        epsilon: float,
+        step_size: Optional[float] = None,
+        reset_interval: int = 20,
+        clean_weight: float = 0.5,
+        warmup_epochs: int = 0,
+        loss_fn: Callable = cross_entropy,
+        scheduler=None,
+    ) -> None:
+        super().__init__(model, optimizer, loss_fn=loss_fn, scheduler=scheduler)
+        check_positive("epsilon", epsilon)
+        if reset_interval < 0:
+            raise ValueError(
+                f"reset_interval must be non-negative, got {reset_interval}"
+            )
+        if warmup_epochs < 0:
+            raise ValueError(
+                f"warmup_epochs must be non-negative, got {warmup_epochs}"
+            )
+        check_in_unit_interval("clean_weight", clean_weight)
+        self.warmup_epochs = int(warmup_epochs)
+        self.epsilon = float(epsilon)
+        self.step_size = (
+            float(step_size) if step_size is not None else self.epsilon
+        )
+        check_positive("step_size", self.step_size)
+        self.reset_interval = int(reset_interval)
+        self.clean_weight = clean_weight
+        # dataset index -> current adversarial example (carried across epochs)
+        self._cache: Dict[int, np.ndarray] = {}
+        # One-step "attack" reusing BIM's projection logic.
+        self._stepper = BIM(
+            self.model,
+            self.epsilon,
+            num_steps=1,
+            step_size=self.step_size,
+            loss_fn=self.loss_fn,
+        )
+
+    # ------------------------------------------------------------------
+    def reset_cache(self) -> None:
+        """Forget all cached adversarial examples (epoch-wise restart)."""
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Number of examples with a cached adversarial iterate."""
+        return len(self._cache)
+
+    @property
+    def in_warmup(self) -> bool:
+        """True while the trainer is still in its clean warmup phase."""
+        return self.epoch < self.warmup_epochs
+
+    def on_epoch_start(self, epoch: int) -> None:
+        """Reset the cache every ``reset_interval`` adversarial epochs."""
+        adv_epoch = epoch - self.warmup_epochs
+        if (
+            self.reset_interval
+            and adv_epoch > 0
+            and adv_epoch % self.reset_interval == 0
+        ):
+            self.reset_cache()
+
+    # ------------------------------------------------------------------
+    def _cached_batch(self, batch: Batch) -> np.ndarray:
+        """Assemble the carried-over adversarial batch (clean on first use)."""
+        rows = []
+        for row, index in enumerate(batch.indices):
+            cached = self._cache.get(int(index))
+            rows.append(cached if cached is not None else batch.x[row])
+        return np.stack(rows).astype(np.float64)
+
+    def _store_batch(self, batch: Batch, x_adv: np.ndarray) -> None:
+        for row, index in enumerate(batch.indices):
+            self._cache[int(index)] = x_adv[row]
+
+    def adversarial_batch(self, batch: Batch) -> np.ndarray:
+        """One perturbation step from the cached iterate (Figure 3b)."""
+        x_start = self._cached_batch(batch)
+        x_clean = np.asarray(batch.x, dtype=np.float64)
+        x_adv = self._stepper.step(x_start, x_clean, batch.y)
+        self._store_batch(batch, x_adv)
+        return x_adv
+
+    def compute_batch_loss(self, batch: Batch) -> Tensor:
+        """Mixture of clean loss and cached-adversarial loss."""
+        if self.in_warmup:
+            return self.loss_fn(self.model(Tensor(batch.x)), batch.y)
+        x_adv = self.adversarial_batch(batch)
+        clean_loss = self.loss_fn(self.model(Tensor(batch.x)), batch.y)
+        adv_loss = self.loss_fn(self.model(Tensor(x_adv)), batch.y)
+        alpha = self.clean_weight
+        return clean_loss * alpha + adv_loss * (1.0 - alpha)

@@ -1,0 +1,55 @@
+"""PGD adversarial training (Madry et al., 2017) — extension baseline.
+
+Identical to :class:`~repro.defenses.adversarial.IterAdvTrainer` except the
+inner attack uses a uniform random start inside the epsilon-ball, which
+prevents the training attack from repeatedly probing the same boundary
+point.  Included for the paper's future-work comparison of Iter-Adv
+variants.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..attacks import PGD, Attack
+from ..utils.rng import RngLike
+from .adversarial import IterAdvTrainer
+
+__all__ = ["PgdAdvTrainer"]
+
+
+class PgdAdvTrainer(IterAdvTrainer):
+    """Iter-Adv with PGD (random-start BIM) as the training attack."""
+
+    name = "pgd_adv"
+
+    def __init__(
+        self,
+        model,
+        optimizer,
+        epsilon: float,
+        num_steps: int = 10,
+        step_size: Optional[float] = None,
+        rng: RngLike = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            model,
+            optimizer,
+            epsilon,
+            num_steps=num_steps,
+            step_size=step_size,
+            **kwargs,
+        )
+        self._rng = rng
+
+    def make_attack(self) -> Attack:
+        """Build the PGD training attack bound to the current model."""
+        return PGD(
+            self.model,
+            self.epsilon,
+            num_steps=self.num_steps,
+            step_size=self.step_size,
+            rng=self._rng,
+            loss_fn=self.loss_fn,
+        )

@@ -1,0 +1,97 @@
+"""Defense registry: build any Table I method by its paper name.
+
+Names follow the paper's rows:
+
+* ``"vanilla"``      — undefended training
+* ``"fgsm_adv"``     — Single-Adv, Goodfellow et al.
+* ``"atda"``         — Single-Adv SOTA baseline, Song et al.
+* ``"proposed"``     — the paper's epoch-wise Single-Adv method
+* ``"bim10_adv"``    — Iter-Adv with BIM(10)
+* ``"bim30_adv"``    — Iter-Adv with BIM(30)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..nn import Module
+from ..optim import Adam, Optimizer
+from .adversarial import FgsmAdvTrainer, IterAdvTrainer
+from .atda import AtdaTrainer
+from .epochwise import EpochwiseAdvTrainer
+from .free import FreeAdvTrainer
+from .label_smooth import LabelSmoothingTrainer
+from .pgd_adv import PgdAdvTrainer
+from .trades import TradesTrainer
+from .trainer import Trainer
+
+__all__ = ["DEFENSE_NAMES", "EXTENSION_NAMES", "build_trainer"]
+
+# The Table I rows.
+DEFENSE_NAMES = (
+    "vanilla",
+    "fgsm_adv",
+    "atda",
+    "proposed",
+    "bim10_adv",
+    "bim30_adv",
+)
+
+# Extension baselines beyond the paper (future-work section).
+EXTENSION_NAMES = ("pgd_adv", "free_adv", "trades", "label_smooth")
+
+
+def build_trainer(
+    name: str,
+    model: Module,
+    epsilon: float,
+    optimizer: Optional[Optimizer] = None,
+    lr: float = 1e-3,
+    **kwargs,
+) -> Trainer:
+    """Construct the trainer for a Table I method.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DEFENSE_NAMES`.
+    model:
+        The classifier to train.
+    epsilon:
+        Dataset perturbation budget (0.3 digits / 0.2 fashion in the paper).
+    optimizer:
+        Optional pre-built optimizer; defaults to Adam(lr).
+    kwargs:
+        Forwarded to the trainer constructor (e.g. ``reset_interval``).
+    """
+    if optimizer is None:
+        optimizer = Adam(model.parameters(), lr=lr)
+    if name == "vanilla":
+        return Trainer(model, optimizer, **kwargs)
+    if name == "fgsm_adv":
+        return FgsmAdvTrainer(model, optimizer, epsilon=epsilon, **kwargs)
+    if name == "atda":
+        return AtdaTrainer(model, optimizer, epsilon=epsilon, **kwargs)
+    if name == "proposed":
+        return EpochwiseAdvTrainer(model, optimizer, epsilon=epsilon, **kwargs)
+    if name == "bim10_adv":
+        return IterAdvTrainer(
+            model, optimizer, epsilon=epsilon, num_steps=10, **kwargs
+        )
+    if name == "bim30_adv":
+        return IterAdvTrainer(
+            model, optimizer, epsilon=epsilon, num_steps=30, **kwargs
+        )
+    if name == "pgd_adv":
+        return PgdAdvTrainer(model, optimizer, epsilon=epsilon, **kwargs)
+    if name == "free_adv":
+        return FreeAdvTrainer(model, optimizer, epsilon=epsilon, **kwargs)
+    if name == "trades":
+        return TradesTrainer(model, optimizer, epsilon=epsilon, **kwargs)
+    if name == "label_smooth":
+        # Label smoothing takes no attack budget.
+        return LabelSmoothingTrainer(model, optimizer, **kwargs)
+    raise KeyError(
+        f"unknown defense {name!r}; choose from "
+        f"{DEFENSE_NAMES + EXTENSION_NAMES}"
+    )

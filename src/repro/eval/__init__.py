@@ -1,0 +1,40 @@
+"""Evaluation: metrics, robustness protocols, diagnostics and reports."""
+
+from .curves import security_curve, security_curves
+from .diagnostics import MaskingReport, gradient_masking_report
+from .metrics import (
+    accuracy,
+    confusion_matrix,
+    per_class_accuracy,
+    random_guess_accuracy,
+)
+from .reports import format_curve, format_percent, format_table
+from .robustness import (
+    RobustnessEvaluator,
+    attack_iteration_sweep,
+    clean_accuracy,
+    intermediate_iterate_curve,
+    robust_accuracy,
+)
+from .transfer import transfer_accuracy, transfer_matrix
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "random_guess_accuracy",
+    "clean_accuracy",
+    "robust_accuracy",
+    "attack_iteration_sweep",
+    "intermediate_iterate_curve",
+    "RobustnessEvaluator",
+    "security_curve",
+    "security_curves",
+    "transfer_accuracy",
+    "transfer_matrix",
+    "MaskingReport",
+    "gradient_masking_report",
+    "format_table",
+    "format_curve",
+    "format_percent",
+]

@@ -1,0 +1,61 @@
+"""Security curves: robust accuracy as a function of the attack budget.
+
+The standard way to compare defenses beyond a single epsilon (and another
+sanity check against gradient masking: accuracy must fall monotonically to
+zero as the budget grows).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..attacks import Attack
+from ..nn import Module
+from .robustness import robust_accuracy
+
+__all__ = ["security_curve", "security_curves"]
+
+
+def security_curve(
+    model: Module,
+    attack_builder: Callable[[Module, float], Attack],
+    x: np.ndarray,
+    y: np.ndarray,
+    epsilons: Sequence[float],
+    batch_size: int = 256,
+) -> List[float]:
+    """Robust accuracy of ``model`` at each budget in ``epsilons``.
+
+    ``attack_builder(model, eps)`` must return the attack instance for a
+    given budget, e.g. ``lambda m, e: BIM(m, e, num_steps=10)``.
+    """
+    if not epsilons:
+        raise ValueError("epsilons must be non-empty")
+    curve = []
+    for eps in epsilons:
+        if eps <= 0:
+            raise ValueError(f"epsilons must be positive, got {eps}")
+        attack = attack_builder(model, float(eps))
+        curve.append(
+            robust_accuracy(model, attack, x, y, batch_size=batch_size)
+        )
+    return curve
+
+
+def security_curves(
+    models: Dict[str, Module],
+    attack_builder: Callable[[Module, float], Attack],
+    x: np.ndarray,
+    y: np.ndarray,
+    epsilons: Sequence[float],
+    batch_size: int = 256,
+) -> Dict[str, List[float]]:
+    """Security curve per named model (for defense comparisons)."""
+    return {
+        name: security_curve(
+            model, attack_builder, x, y, epsilons, batch_size=batch_size
+        )
+        for name, model in models.items()
+    }

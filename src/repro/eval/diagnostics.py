@@ -1,0 +1,125 @@
+"""Gradient-masking diagnostics (Athalye et al., 2018 sanity checks).
+
+Adversarial training is valued precisely because it does *not* rely on
+obfuscated gradients (the paper cites [1] for this).  These diagnostics
+codify the standard red flags so any defense trained with this library can
+be checked:
+
+1. single-step attack outperforming iterative attacks;
+2. random noise hurting nearly as much as gradient attacks;
+3. larger epsilon failing to monotonically decrease accuracy;
+4. iterative attacks failing to reach ~0 accuracy on an *undefended* model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..attacks import BIM, FGSM, RandomNoise
+from ..nn import Module
+from .robustness import clean_accuracy, robust_accuracy
+
+__all__ = ["MaskingReport", "gradient_masking_report"]
+
+
+@dataclass
+class MaskingReport:
+    """Outcome of the gradient-masking checks.
+
+    Attributes
+    ----------
+    clean, fgsm, bim, noise:
+        Accuracies at the probe epsilon.
+    epsilon_sweep:
+        Accuracy under FGSM at increasing budgets.
+    flags:
+        Human-readable red flags; empty means no masking indicators.
+    """
+
+    epsilon: float
+    clean: float
+    fgsm: float
+    bim: float
+    noise: float
+    epsilon_sweep: List[float] = field(default_factory=list)
+    flags: List[str] = field(default_factory=list)
+
+    @property
+    def suspicious(self) -> bool:
+        """True when any masking red flag fired."""
+        return bool(self.flags)
+
+    def render(self) -> str:
+        """Render the diagnostics as plain text."""
+        lines = [
+            f"gradient-masking diagnostics (eps={self.epsilon})",
+            f"  clean={self.clean:.3f} fgsm={self.fgsm:.3f} "
+            f"bim={self.bim:.3f} noise={self.noise:.3f}",
+        ]
+        if self.flags:
+            lines.append("  RED FLAGS:")
+            lines.extend(f"    - {flag}" for flag in self.flags)
+        else:
+            lines.append("  no gradient-masking indicators found")
+        return "\n".join(lines)
+
+
+def gradient_masking_report(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    epsilon: float,
+    num_steps: int = 10,
+    batch_size: int = 256,
+    rng=0,
+) -> MaskingReport:
+    """Run the masking checks against ``model`` at budget ``epsilon``."""
+    clean = clean_accuracy(model, x, y, batch_size=batch_size)
+    fgsm = robust_accuracy(
+        model, FGSM(model, epsilon), x, y, batch_size=batch_size
+    )
+    bim = robust_accuracy(
+        model,
+        BIM(model, epsilon, num_steps=num_steps),
+        x,
+        y,
+        batch_size=batch_size,
+    )
+    noise = robust_accuracy(
+        model, RandomNoise(model, epsilon, rng=rng), x, y,
+        batch_size=batch_size,
+    )
+    sweep = [
+        robust_accuracy(
+            model, FGSM(model, eps), x, y, batch_size=batch_size
+        )
+        for eps in (epsilon * 0.5, epsilon, epsilon * 2.0)
+    ]
+
+    report = MaskingReport(
+        epsilon=epsilon,
+        clean=clean,
+        fgsm=fgsm,
+        bim=bim,
+        noise=noise,
+        epsilon_sweep=sweep,
+    )
+    if bim > fgsm + 0.05:
+        report.flags.append(
+            "iterative attack is WEAKER than single-step "
+            f"(bim={bim:.3f} > fgsm={fgsm:.3f}): classic masking signature"
+        )
+    if fgsm - noise < 0.02 and clean - noise > 0.1:
+        report.flags.append(
+            "gradient attack barely beats random noise "
+            f"(fgsm={fgsm:.3f}, noise={noise:.3f}): gradients uninformative"
+        )
+    if not all(a >= b - 0.05 for a, b in zip(sweep, sweep[1:])):
+        report.flags.append(
+            "accuracy does not decrease monotonically with epsilon "
+            f"(sweep={['%.3f' % v for v in sweep]})"
+        )
+    return report

@@ -1,0 +1,60 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "random_guess_accuracy",
+]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct hard predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs "
+            f"labels {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of an empty batch")
+    return float(np.mean(predictions == labels))
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """``(num_classes, num_classes)`` count matrix, rows = true class."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> Dict[int, float]:
+    """Accuracy restricted to each true class (NaN-free: absent class -> 0)."""
+    matrix = confusion_matrix(predictions, labels, num_classes)
+    totals = matrix.sum(axis=1)
+    result = {}
+    for cls in range(num_classes):
+        result[cls] = (
+            float(matrix[cls, cls] / totals[cls]) if totals[cls] else 0.0
+        )
+    return result
+
+
+def random_guess_accuracy(num_classes: int) -> float:
+    """The paper's "random guessing" reference line (10% for 10 classes)."""
+    if num_classes <= 0:
+        raise ValueError(f"num_classes must be positive, got {num_classes}")
+    return 1.0 / num_classes

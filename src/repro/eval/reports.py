@@ -1,0 +1,79 @@
+"""Plain-text rendering of experiment results (tables and curves).
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers format them consistently for terminals and for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_curve", "format_percent"]
+
+
+def format_percent(value: float) -> str:
+    """Render a [0, 1] accuracy as the paper's percent style (``94.21%``)."""
+    return f"{100.0 * value:.2f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Row cells (already stringified).
+    title:
+        Optional caption printed above the table.
+    """
+    rows = [[str(cell) for cell in row] for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are "
+                f"{len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rows)) if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    divider = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(divider)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_curve(
+    xs: Sequence, ys: Sequence[float], x_label: str, y_label: str,
+    title: str = "",
+) -> str:
+    """Render an (x, y) series as a two-column table plus a unicode sparkline."""
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"xs and ys disagree on length: {len(xs)} vs {len(ys)}"
+        )
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    spark = "".join(
+        blocks[min(int((y - lo) / span * (len(blocks) - 1)), len(blocks) - 1)]
+        for y in ys
+    )
+    table = format_table(
+        [x_label, y_label],
+        [[str(x), format_percent(y)] for x, y in zip(xs, ys)],
+        title=title,
+    )
+    return f"{table}\n{spark}"

@@ -1,0 +1,167 @@
+"""Robustness evaluation: model-versus-attack accuracy grids and curves.
+
+These helpers implement the measurement protocols behind the paper's
+artefacts:
+
+* :func:`robust_accuracy` — one (model, attack) cell of Table I.
+* :func:`attack_iteration_sweep` — Figure 1: accuracy vs BIM iteration
+  count ``N`` with ``eps_step = eps / N``.
+* :func:`intermediate_iterate_curve` — Figure 2: accuracy after every
+  iterate of a fixed BIM(N) run.
+* :class:`RobustnessEvaluator` — a full model x attack grid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..attacks import BIM, Attack
+from ..nn import Module
+from .metrics import accuracy
+
+__all__ = [
+    "clean_accuracy",
+    "robust_accuracy",
+    "attack_iteration_sweep",
+    "intermediate_iterate_curve",
+    "RobustnessEvaluator",
+]
+
+
+def _batched(x: np.ndarray, y: np.ndarray, batch_size: int):
+    for start in range(0, len(x), batch_size):
+        yield x[start : start + batch_size], y[start : start + batch_size]
+
+
+def clean_accuracy(
+    model: Module, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+) -> float:
+    """Accuracy on unperturbed examples."""
+    model.eval()
+    predictions = np.concatenate(
+        [model.predict(bx) for bx, _by in _batched(x, y, batch_size)]
+    )
+    return accuracy(predictions, np.asarray(y))
+
+
+def robust_accuracy(
+    model: Module,
+    attack: Attack,
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int = 256,
+) -> float:
+    """Accuracy of ``model`` on ``attack``-perturbed examples.
+
+    The attack runs white-box against the *same* model that is then used to
+    classify (the paper's threat model).
+    """
+    model.eval()
+    correct = 0
+    for bx, by in _batched(np.asarray(x), np.asarray(y), batch_size):
+        x_adv = attack.generate(bx, by)
+        correct += int(np.sum(model.predict(x_adv) == by))
+    return correct / len(x)
+
+
+def attack_iteration_sweep(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    epsilon: float,
+    iteration_counts: Sequence[int],
+    batch_size: int = 256,
+) -> Dict[int, float]:
+    """Figure 1 protocol: accuracy vs ``N`` with ``step = epsilon / N``.
+
+    Returns ``{N: accuracy}`` for each requested iteration count.
+    """
+    results: Dict[int, float] = {}
+    for n in iteration_counts:
+        attack = BIM(model, epsilon, num_steps=int(n))
+        results[int(n)] = robust_accuracy(
+            model, attack, x, y, batch_size=batch_size
+        )
+    return results
+
+
+def intermediate_iterate_curve(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    epsilon: float,
+    num_steps: int = 10,
+    batch_size: int = 256,
+) -> List[float]:
+    """Figure 2 protocol: accuracy after each iterate of one BIM(N) run.
+
+    ``result[i]`` is the accuracy on the batch perturbed for ``i + 1``
+    iterations with fixed per-step size ``epsilon / num_steps``.
+    """
+    model.eval()
+    attack = BIM(model, epsilon, num_steps=num_steps)
+    x = np.asarray(x)
+    y = np.asarray(y)
+    correct = np.zeros(num_steps, dtype=np.int64)
+    for bx, by in _batched(x, y, batch_size):
+        iterates = attack.generate_with_intermediates(bx, by)
+        for step, x_adv in enumerate(iterates):
+            correct[step] += int(np.sum(model.predict(x_adv) == by))
+    return [float(c / len(x)) for c in correct]
+
+
+class RobustnessEvaluator:
+    """Evaluate a model against a named suite of attacks (a Table I row).
+
+    Parameters
+    ----------
+    attack_builders:
+        Mapping from attack name to a factory ``model -> Attack``.  Factories
+        receive the model so the suite can be reused across models.
+    batch_size:
+        Evaluation batch size.
+    """
+
+    def __init__(
+        self,
+        attack_builders: Dict[str, Callable[[Module], Optional[Attack]]],
+        batch_size: int = 256,
+    ) -> None:
+        if not attack_builders:
+            raise ValueError("attack suite must not be empty")
+        self.attack_builders = dict(attack_builders)
+        self.batch_size = batch_size
+
+    def evaluate(
+        self, model: Module, x: np.ndarray, y: np.ndarray
+    ) -> Dict[str, float]:
+        """Return ``{attack_name: accuracy}``; ``None`` factories mean clean."""
+        results: Dict[str, float] = {}
+        for name, builder in self.attack_builders.items():
+            attack = builder(model)
+            if attack is None:
+                results[name] = clean_accuracy(
+                    model, x, y, batch_size=self.batch_size
+                )
+            else:
+                results[name] = robust_accuracy(
+                    model, attack, x, y, batch_size=self.batch_size
+                )
+        return results
+
+    @classmethod
+    def paper_suite(cls, epsilon: float, batch_size: int = 256) -> "RobustnessEvaluator":
+        """The Table I attack columns: clean, FGSM, BIM(10), BIM(30)."""
+        from ..attacks import FGSM
+
+        return cls(
+            {
+                "original": lambda model: None,
+                "fgsm": lambda model: FGSM(model, epsilon),
+                "bim10": lambda model: BIM(model, epsilon, num_steps=10),
+                "bim30": lambda model: BIM(model, epsilon, num_steps=30),
+            },
+            batch_size=batch_size,
+        )

@@ -1,0 +1,45 @@
+"""Experiment runners reproducing the paper's figures and table.
+
+* :func:`run_figure1` — accuracy vs BIM iteration count (Figure 1).
+* :func:`run_figure2` — accuracy on intermediate iterates (Figure 2).
+* :func:`run_table1` — full defense comparison (Table I).
+* :func:`run_step_size_ablation` / :func:`run_reset_interval_ablation` —
+  design-choice sweeps for the proposed method.
+"""
+
+from .ablations import (
+    AblationResult,
+    run_reset_interval_ablation,
+    run_step_size_ablation,
+)
+from .config import ExperimentConfig, paper_scale, smoke_scale
+from .crossover import CrossoverResult, run_crossover_study
+from .figure1 import FIGURE1_CLASSIFIERS, Figure1Result, run_figure1
+from .figure2 import Figure2Result, run_figure2
+from .runner import ClassifierPool, TrainedDefense
+from .table1 import ATTACK_COLUMNS, TABLE1_METHODS, Table1Result, run_table1
+from .variance import VarianceResult, run_variance_study
+
+__all__ = [
+    "ExperimentConfig",
+    "paper_scale",
+    "smoke_scale",
+    "ClassifierPool",
+    "TrainedDefense",
+    "Figure1Result",
+    "run_figure1",
+    "FIGURE1_CLASSIFIERS",
+    "Figure2Result",
+    "run_figure2",
+    "Table1Result",
+    "run_table1",
+    "TABLE1_METHODS",
+    "ATTACK_COLUMNS",
+    "AblationResult",
+    "run_step_size_ablation",
+    "run_reset_interval_ablation",
+    "VarianceResult",
+    "run_variance_study",
+    "CrossoverResult",
+    "run_crossover_study",
+]

@@ -1,0 +1,126 @@
+"""Multi-seed variance study of the key Table I comparison.
+
+The paper reports single-run numbers ("preliminary evaluation"); its
+future-work section asks for deeper understanding.  This runner repeats
+the central comparison — proposed vs ATDA vs the Iter-Adv reference —
+across seeds and reports mean ± std of the BIM robust accuracy, so the
+headline gap can be judged against run-to-run noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..eval import RobustnessEvaluator, format_table
+from ..utils.serialization import save_json
+from .config import ExperimentConfig
+from .runner import ClassifierPool
+
+__all__ = ["VarianceResult", "run_variance_study"]
+
+DEFAULT_METHODS = ("atda", "proposed", "bim10_adv")
+
+
+@dataclass
+class VarianceResult:
+    """Per-seed accuracy grids plus summary statistics."""
+
+    dataset: str
+    epsilon: float
+    seeds: List[int] = field(default_factory=list)
+    # method -> column -> list of per-seed accuracies
+    runs: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+
+    def mean(self, method: str, column: str) -> float:
+        """Mean accuracy of ``method`` on ``column`` across seeds."""
+        return float(np.mean(self.runs[method][column]))
+
+    def std(self, method: str, column: str) -> float:
+        """Std of ``method`` on ``column`` across seeds."""
+        return float(np.std(self.runs[method][column]))
+
+    def gap_significant(
+        self, better: str, worse: str, column: str
+    ) -> bool:
+        """True when the mean gap exceeds the combined 1-sigma noise."""
+        gap = self.mean(better, column) - self.mean(worse, column)
+        noise = self.std(better, column) + self.std(worse, column)
+        return gap > noise
+
+    def render(self) -> str:
+        """Render the result as an aligned plain-text artefact."""
+        columns = ("original", "fgsm", "bim10", "bim30")
+        headers = ["method"] + [f"{c} (mean±std)" for c in columns]
+        rows = []
+        for method in self.runs:
+            row = [method]
+            for column in columns:
+                row.append(
+                    f"{100 * self.mean(method, column):.2f}"
+                    f"±{100 * self.std(method, column):.2f}%"
+                )
+            rows.append(row)
+        return format_table(
+            headers,
+            rows,
+            title=(
+                f"Variance study ({self.dataset}, eps={self.epsilon}, "
+                f"{len(self.seeds)} seeds)"
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form of the result."""
+        return {
+            "dataset": self.dataset,
+            "epsilon": self.epsilon,
+            "seeds": self.seeds,
+            "runs": self.runs,
+        }
+
+    def save(self, path: str) -> None:
+        """Write the result as JSON to ``path``."""
+        save_json(path, self.to_dict())
+
+
+def run_variance_study(
+    config: ExperimentConfig,
+    seeds: Sequence[int] = (0, 1, 2),
+    methods: Sequence[str] = DEFAULT_METHODS,
+    verbose: bool = False,
+) -> VarianceResult:
+    """Repeat training/evaluation of ``methods`` across ``seeds``.
+
+    Each seed gets its own data split, model init and batch order (all
+    derived from the seed), so the spread captures the full pipeline
+    variance.
+    """
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    result = VarianceResult(
+        dataset=config.dataset, epsilon=config.resolved_epsilon
+    )
+    result.seeds = [int(s) for s in seeds]
+    for method in methods:
+        result.runs[method] = {
+            c: [] for c in ("original", "fgsm", "bim10", "bim30")
+        }
+    for seed in result.seeds:
+        seeded = config.with_overrides(seed=seed)
+        pool = ClassifierPool(seeded, verbose=verbose)
+        suite = RobustnessEvaluator.paper_suite(
+            pool.epsilon, batch_size=config.eval_batch_size
+        )
+        for method in methods:
+            defense = pool.get(method)
+            accuracy = suite.evaluate(
+                defense.model, pool.test_x, pool.test_y
+            )
+            for column, value in accuracy.items():
+                result.runs[method][column].append(float(value))
+            if verbose:
+                print(f"variance[{seed}] {method}: {accuracy}")
+    return result

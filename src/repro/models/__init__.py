@@ -1,0 +1,13 @@
+"""Model zoo: classifier wrapper and architecture factories."""
+
+from .classifier import FeatureClassifier
+from .zoo import MODEL_BUILDERS, build_model, mnist_cnn, mnist_mlp, small_cnn
+
+__all__ = [
+    "FeatureClassifier",
+    "mnist_cnn",
+    "mnist_mlp",
+    "small_cnn",
+    "MODEL_BUILDERS",
+    "build_model",
+]

@@ -1,0 +1,63 @@
+"""Classifier wrapper separating feature extractor and classification head.
+
+The split matters for ATDA (Song et al., 2018), which regularises the
+*embedding* (penultimate representation) of clean vs adversarial examples;
+``embed`` exposes exactly that representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, as_tensor, no_grad
+from ..nn import Module
+
+__all__ = ["FeatureClassifier"]
+
+
+class FeatureClassifier(Module):
+    """A classifier composed of a feature extractor and a linear head.
+
+    Parameters
+    ----------
+    features:
+        Module mapping input batches to ``(N, D)`` embeddings.
+    head:
+        Module mapping embeddings to ``(N, num_classes)`` logits.
+    num_classes:
+        Number of output classes (kept for validation/reporting).
+    """
+
+    def __init__(
+        self, features: Module, head: Module, num_classes: int
+    ) -> None:
+        super().__init__()
+        if num_classes <= 1:
+            raise ValueError(
+                f"num_classes must be at least 2, got {num_classes}"
+            )
+        self.features = features
+        self.head = head
+        self.num_classes = num_classes
+
+    def embed(self, x) -> Tensor:
+        """Penultimate-layer embedding of a batch."""
+        return self.features(as_tensor(x))
+
+    def forward(self, x) -> Tensor:
+        """Raw class logits of a batch."""
+        return self.head(self.embed(x))
+
+    def predict(self, x) -> np.ndarray:
+        """Hard class predictions, computed without building a graph."""
+        with no_grad():
+            logits = self.forward(as_tensor(x))
+        return np.argmax(logits.data, axis=1)
+
+    def predict_proba(self, x) -> np.ndarray:
+        """Softmax class probabilities, computed without a graph."""
+        with no_grad():
+            logits = self.forward(as_tensor(x)).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)

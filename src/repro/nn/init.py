@@ -1,0 +1,91 @@
+"""Weight-initialization schemes.
+
+All initializers take an explicit ``numpy.random.Generator`` so that model
+construction is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..utils.rng import RngLike, ensure_rng
+
+__all__ = [
+    "zeros",
+    "ones",
+    "uniform",
+    "normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "kaiming_normal",
+    "compute_fans",
+]
+
+
+def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for dense or convolutional weights.
+
+    Dense weights are ``(in, out)``; conv weights are
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans of a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros array of ``shape``."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape) -> np.ndarray:
+    """All-ones array of ``shape``."""
+    return np.ones(shape, dtype=np.float64)
+
+
+def uniform(shape, low: float, high: float, rng: RngLike = None) -> np.ndarray:
+    """Uniform samples in ``[low, high)``."""
+    return ensure_rng(rng).uniform(low, high, size=shape)
+
+
+def normal(shape, mean: float = 0.0, std: float = 1.0, rng: RngLike = None) -> np.ndarray:
+    """Gaussian samples with the given mean and std."""
+    return ensure_rng(rng).normal(mean, std, size=shape)
+
+
+def xavier_uniform(shape, gain: float = 1.0, rng: RngLike = None) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = compute_fans(tuple(shape))
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return uniform(shape, -bound, bound, rng=rng)
+
+
+def xavier_normal(shape, gain: float = 1.0, rng: RngLike = None) -> np.ndarray:
+    """Glorot normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = compute_fans(tuple(shape))
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return normal(shape, 0.0, std, rng=rng)
+
+
+def kaiming_uniform(shape, rng: RngLike = None) -> np.ndarray:
+    """He uniform, appropriate for ReLU networks."""
+    fan_in, _fan_out = compute_fans(tuple(shape))
+    bound = np.sqrt(6.0 / fan_in)
+    return uniform(shape, -bound, bound, rng=rng)
+
+
+def kaiming_normal(shape, rng: RngLike = None) -> np.ndarray:
+    """He normal, appropriate for ReLU networks."""
+    fan_in, _fan_out = compute_fans(tuple(shape))
+    std = np.sqrt(2.0 / fan_in)
+    return normal(shape, 0.0, std, rng=rng)

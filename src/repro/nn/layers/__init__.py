@@ -1,0 +1,30 @@
+"""Neural-network layers."""
+
+from .activations import LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from .container import Sequential
+from .conv import Conv2d
+from .dense import Dense
+from .dropout import Dropout
+from .layernorm import LayerNorm
+from .norm import BatchNorm1d, BatchNorm2d
+from .pooling import AvgPool2d, MaxPool2d
+from .shape import Flatten, Reshape
+
+__all__ = [
+    "Dense",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Dropout",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "Flatten",
+    "Reshape",
+    "Sequential",
+]

@@ -1,0 +1,51 @@
+"""Container modules."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ...autograd import Tensor
+from ..module import Module
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order.
+
+    Children are registered under their integer index so that parameter
+    names look like ``0.weight``, ``2.bias`` — stable across runs as long as
+    the architecture is unchanged.
+    """
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        """Append a module, registering it under its index."""
+        if not isinstance(module, Module):
+            raise TypeError(
+                f"Sequential children must be Module, got {type(module)!r}"
+            )
+        index = len(self._layers)
+        self._layers.append(module)
+        self._modules[str(index)] = module
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer to ``x``."""
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]

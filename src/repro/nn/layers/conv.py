@@ -1,0 +1,85 @@
+"""2-D convolution layer (NCHW layout)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...autograd import Tensor, conv2d
+from ...utils.rng import RngLike, ensure_rng
+from .. import init
+from ..module import Module, Parameter
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """2-D cross-correlation with learnable kernel and optional bias.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Square kernel side length.
+    stride, padding:
+        Standard convolution hyper-parameters (symmetric zero padding).
+    bias:
+        Whether to learn a per-output-channel bias.
+    rng:
+        Seed or generator for He-uniform weight initialization.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        for name, value in (
+            ("in_channels", in_channels),
+            ("out_channels", out_channels),
+            ("kernel_size", kernel_size),
+            ("stride", stride),
+        ):
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        generator = ensure_rng(rng)
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_uniform(shape, rng=generator))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer to ``x``."""
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected NCHW input with {self.in_channels} "
+                f"channels, got shape {x.shape}"
+            )
+        return conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+        )
+
+    def extra_repr(self) -> str:
+        """Hyper-parameter summary for repr()."""
+        return (
+            f"in_channels={self.in_channels}, "
+            f"out_channels={self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, bias={self.bias is not None}"
+        )

@@ -1,0 +1,42 @@
+"""Inverted dropout layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...autograd import Tensor, dropout_mask
+from ...utils.rng import RngLike, ensure_rng
+from ...utils.validation import check_probability
+from ..module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: active in training mode, identity in eval mode.
+
+    During training each element is zeroed with probability ``rate`` and the
+    survivors are scaled by ``1 / (1 - rate)`` so that expectations match
+    between train and eval.
+    """
+
+    def __init__(self, rate: float = 0.5, rng: RngLike = None) -> None:
+        super().__init__()
+        check_probability("rate", rate)
+        self.rate = rate
+        self._rng = ensure_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer to ``x``."""
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (
+            self._rng.random(x.shape) < keep
+        ).astype(x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64)
+        mask /= keep
+        return dropout_mask(x, mask)
+
+    def extra_repr(self) -> str:
+        """Hyper-parameter summary for repr()."""
+        return f"rate={self.rate}"

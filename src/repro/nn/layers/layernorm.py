@@ -1,0 +1,75 @@
+"""Layer normalization (Ba et al., 2016).
+
+Normalises over the feature dimensions of each example independently —
+batch-size agnostic, so it behaves identically in train and eval mode
+(useful for the small-batch adversarial loops where batch-norm statistics
+are noisy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...autograd import Tensor
+from ..module import Module, Parameter
+
+__all__ = ["LayerNorm"]
+
+
+class LayerNorm(Module):
+    """Normalise the trailing ``len(normalized_shape)`` dimensions.
+
+    Parameters
+    ----------
+    normalized_shape:
+        Shape of the normalised suffix (an int is treated as a 1-tuple).
+    eps:
+        Variance floor.
+    affine:
+        Learn per-element gain/bias of shape ``normalized_shape``.
+    """
+
+    def __init__(
+        self, normalized_shape, eps: float = 1e-5, affine: bool = True
+    ) -> None:
+        super().__init__()
+        if isinstance(normalized_shape, int):
+            normalized_shape = (normalized_shape,)
+        self.normalized_shape = tuple(int(s) for s in normalized_shape)
+        if any(s <= 0 for s in self.normalized_shape):
+            raise ValueError(
+                f"normalized_shape must be positive, got {normalized_shape}"
+            )
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.gamma = Parameter(np.ones(self.normalized_shape))
+            self.beta = Parameter(np.zeros(self.normalized_shape))
+        else:
+            self.gamma = None
+            self.beta = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer to ``x``."""
+        suffix = x.shape[x.ndim - len(self.normalized_shape):]
+        if suffix != self.normalized_shape:
+            raise ValueError(
+                f"LayerNorm expected trailing shape {self.normalized_shape},"
+                f" got input shape {x.shape}"
+            )
+        axes = tuple(
+            range(x.ndim - len(self.normalized_shape), x.ndim)
+        )
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        normalized = (x - mean) / (var + self.eps).sqrt()
+        if self.affine:
+            normalized = normalized * self.gamma + self.beta
+        return normalized
+
+    def extra_repr(self) -> str:
+        """Hyper-parameter summary for repr()."""
+        return (
+            f"normalized_shape={self.normalized_shape}, eps={self.eps}, "
+            f"affine={self.affine}"
+        )

@@ -1,0 +1,47 @@
+"""Spatial pooling layers."""
+
+from __future__ import annotations
+
+from ...autograd import Tensor, avg_pool2d, max_pool2d
+from ..module import Module
+
+__all__ = ["MaxPool2d", "AvgPool2d"]
+
+
+class _Pool2d(Module):
+    def __init__(self, kernel_size: int = 2, stride=None, padding: int = 0) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError(f"kernel_size must be positive, got {kernel_size}")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def extra_repr(self) -> str:
+        """Hyper-parameter summary for repr()."""
+        return (
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}"
+        )
+
+
+class MaxPool2d(_Pool2d):
+    """Max pooling over square windows of an NCHW batch."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer to ``x``."""
+        return max_pool2d(
+            x, kernel_size=self.kernel_size, stride=self.stride,
+            padding=self.padding,
+        )
+
+
+class AvgPool2d(_Pool2d):
+    """Average pooling over square windows of an NCHW batch."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer to ``x``."""
+        return avg_pool2d(
+            x, kernel_size=self.kernel_size, stride=self.stride,
+            padding=self.padding,
+        )

@@ -1,0 +1,40 @@
+"""Shape-adapting layers."""
+
+from __future__ import annotations
+
+from ...autograd import Tensor, flatten, reshape
+from ..module import Module
+
+__all__ = ["Flatten", "Reshape"]
+
+
+class Flatten(Module):
+    """Collapse all dimensions after ``start_axis`` (default: keep batch)."""
+
+    def __init__(self, start_axis: int = 1) -> None:
+        super().__init__()
+        self.start_axis = start_axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer to ``x``."""
+        return flatten(x, start_axis=self.start_axis)
+
+    def extra_repr(self) -> str:
+        """Hyper-parameter summary for repr()."""
+        return f"start_axis={self.start_axis}"
+
+
+class Reshape(Module):
+    """Reshape trailing dimensions to a fixed target (batch preserved)."""
+
+    def __init__(self, *shape: int) -> None:
+        super().__init__()
+        self.shape = tuple(shape)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer to ``x``."""
+        return reshape(x, (x.shape[0],) + self.shape)
+
+    def extra_repr(self) -> str:
+        """Hyper-parameter summary for repr()."""
+        return f"shape={self.shape}"

@@ -1,0 +1,189 @@
+"""Module/Parameter system: the backbone of the NN library.
+
+A :class:`Module` owns :class:`Parameter` tensors and child modules, found
+automatically through attribute assignment (the familiar torch-style
+pattern).  Modules provide:
+
+* recursive parameter iteration (for optimizers),
+* train/eval mode switching (dropout, batch norm),
+* state-dict export/import (checkpointing),
+* gradient zeroing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a learnable parameter of a module."""
+
+    def __init__(self, data) -> None:
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape})"
+
+
+class Module:
+    """Base class for all neural-network building blocks."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # attribute-based registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # forward dispatch
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs) -> Tensor:
+        """Compute the module's output; must be overridden."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement forward()"
+        )
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # parameter/module iteration
+    # ------------------------------------------------------------------
+    def named_parameters(
+        self, prefix: str = ""
+    ) -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs, depth-first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters of this module and its children."""
+        for _name, param in self.named_parameters():
+            yield param
+
+    def named_modules(
+        self, prefix: str = ""
+    ) -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` including ``self`` first."""
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def children(self) -> Iterator["Module"]:
+        """Yield direct child modules."""
+        yield from self._modules.values()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------
+    # training mode
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Recursively set training mode (affects dropout, batch norm)."""
+        object.__setattr__(self, "training", bool(mode))
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to evaluation mode."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # gradients
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Reset gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # state dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Export parameters (and buffers) as a flat name→array mapping."""
+        state = OrderedDict(
+            (name, param.data.copy())
+            for name, param in self.named_parameters()
+        )
+        for prefix, module in self.named_modules():
+            for buf_name, buf in getattr(module, "_buffers", {}).items():
+                key = f"{prefix}.{buf_name}" if prefix else buf_name
+                state[key] = np.asarray(buf).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters exported by :meth:`state_dict`.
+
+        Raises ``KeyError`` on missing entries and ``ValueError`` on shape
+        mismatch — silent partial loads hide bugs.
+        """
+        for name, param in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"state dict is missing parameter {name!r}")
+            value = np.asarray(state[name])
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"expected {param.shape}, got {value.shape}"
+                )
+            param.data = value.astype(param.data.dtype, copy=True)
+        for prefix, module in self.named_modules():
+            buffers = getattr(module, "_buffers", None)
+            if not buffers:
+                continue
+            for buf_name in list(buffers):
+                key = f"{prefix}.{buf_name}" if prefix else buf_name
+                if key in state:
+                    module._update_buffer(
+                        buf_name, np.asarray(state[key]).copy()
+                    )
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-learnable persistent state (e.g. BN running stats)."""
+        if not hasattr(self, "_buffers"):
+            object.__setattr__(self, "_buffers", OrderedDict())
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def _update_buffer(self, name: str, value: np.ndarray) -> None:
+        """Replace a registered buffer's value."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def extra_repr(self) -> str:
+        """Extra ``repr`` details; override to describe hyper-parameters."""
+        return ""
+
+    def __repr__(self) -> str:
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        for name, module in self._modules.items():
+            child = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child}")
+        if len(lines) == 1:
+            return lines[0] + ")"
+        lines.append(")")
+        return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Optimizers and learning-rate schedulers."""
+
+from .adam import Adam, AdamW, RMSprop
+from .optimizer import Optimizer
+from .schedulers import (
+    CosineAnnealingLR,
+    ExponentialLR,
+    LRScheduler,
+    StepLR,
+    WarmupLR,
+)
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "RMSprop",
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "WarmupLR",
+]

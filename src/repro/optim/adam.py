@@ -1,0 +1,119 @@
+"""Adam-family optimizers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["Adam", "AdamW", "RMSprop"]
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias-corrected moment estimates."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must lie in [0, 1), got {betas}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def _apply_weight_decay(self, param: Parameter, grad: np.ndarray):
+        """Classic (coupled) L2: decay added to the gradient."""
+        if self.weight_decay:
+            return grad + self.weight_decay * param.data
+        return grad
+
+    def _decoupled_decay(self, param: Parameter) -> None:
+        """Hook for AdamW; no-op in plain Adam."""
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for index, param in enumerate(self.params):
+            grad = param.grad
+            if grad is None:
+                continue
+            grad = self._apply_weight_decay(param, grad)
+            m = self._m[index]
+            v = self._v[index]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            self._decoupled_decay(param)
+            param.data = param.data - self.lr * m_hat / (
+                np.sqrt(v_hat) + self.eps
+            )
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _apply_weight_decay(self, param: Parameter, grad: np.ndarray):
+        return grad  # decay handled decoupled in _decoupled_decay
+
+    def _decoupled_decay(self, param: Parameter) -> None:
+        if self.weight_decay:
+            param.data = param.data - self.lr * self.weight_decay * param.data
+
+
+class RMSprop(Optimizer):
+    """RMSprop with optional momentum."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must lie in [0, 1), got {alpha}")
+        self.alpha = alpha
+        self.eps = eps
+        self.momentum = momentum
+        self._avg = [np.zeros_like(p.data) for p in self.params]
+        self._buf = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        for index, param in enumerate(self.params):
+            grad = param.grad
+            if grad is None:
+                continue
+            avg = self._avg[index]
+            avg *= self.alpha
+            avg += (1.0 - self.alpha) * grad * grad
+            update = grad / (np.sqrt(avg) + self.eps)
+            if self.momentum:
+                buf = self._buf[index]
+                buf *= self.momentum
+                buf += update
+                update = buf
+            param.data = param.data - self.lr * update

@@ -1,0 +1,40 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class: holds the parameter list and the update contract.
+
+    Subclasses implement :meth:`step`, reading ``param.grad`` and updating
+    ``param.data`` in place.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        raise NotImplementedError
+
+    def _grads(self):
+        """Yield ``(param, grad)`` for parameters that received gradients."""
+        for param in self.params:
+            if param.grad is not None:
+                yield param, param.grad

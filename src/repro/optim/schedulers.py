@@ -1,0 +1,116 @@
+"""Learning-rate schedulers.
+
+Schedulers mutate ``optimizer.lr`` in place; call :meth:`step` once per
+epoch (after the epoch completes).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optimizer import Optimizer
+
+__all__ = [
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "WarmupLR",
+]
+
+
+class LRScheduler:
+    """Base scheduler tracking epoch count and the initial learning rate."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        """Learning rate for the current epoch counter."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        new_lr = self.get_lr()
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(
+        self, optimizer: Optimizer, step_size: int, gamma: float = 0.1
+    ) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        """Learning rate for the current epoch counter."""
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        """Learning rate for the current epoch counter."""
+        return self.base_lr * self.gamma ** self.epoch
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(
+        self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0
+    ) -> None:
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError(
+                f"total_epochs must be positive, got {total_epochs}"
+            )
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        """Learning rate for the current epoch counter."""
+        progress = min(self.epoch / self.total_epochs, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup to the base LR, then delegate to an inner scheduler."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_epochs: int,
+        after: LRScheduler = None,
+    ) -> None:
+        super().__init__(optimizer)
+        if warmup_epochs <= 0:
+            raise ValueError(
+                f"warmup_epochs must be positive, got {warmup_epochs}"
+            )
+        self.warmup_epochs = warmup_epochs
+        self.after = after
+
+    def get_lr(self) -> float:
+        """Learning rate for the current epoch counter."""
+        if self.epoch <= self.warmup_epochs:
+            return self.base_lr * self.epoch / self.warmup_epochs
+        if self.after is not None:
+            self.after.epoch = self.epoch - self.warmup_epochs
+            return self.after.get_lr()
+        return self.base_lr

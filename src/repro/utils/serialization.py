@@ -1,0 +1,65 @@
+"""Saving and loading model parameters and experiment results.
+
+Model state is persisted as ``.npz`` archives keyed by parameter path
+(e.g. ``layers.0.weight``); experiment results as JSON with numpy values
+converted to plain Python types.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+__all__ = [
+    "save_state_dict",
+    "load_state_dict",
+    "save_json",
+    "load_json",
+    "to_jsonable",
+]
+
+
+def save_state_dict(path: str, state: Mapping[str, np.ndarray]) -> None:
+    """Persist a name→array mapping to an ``.npz`` archive."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **{k: np.asarray(v) for k, v in state.items()})
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Load a mapping previously written by :func:`save_state_dict`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays so ``json`` can encode them."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    return value
+
+
+def save_json(path: str, payload: Any) -> None:
+    """Write ``payload`` as pretty-printed JSON, creating parent dirs."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(to_jsonable(payload), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str) -> Any:
+    """Load a JSON file written by :func:`save_json`."""
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,90 @@
+"""Wall-clock instrumentation used by the training-time experiments.
+
+The paper's efficiency metric is *training time per epoch* (Table I).  The
+:class:`EpochTimer` here records per-epoch durations so trainers can report
+exactly that statistic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["Timer", "EpochTimer"]
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop and return the elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+
+@dataclass
+class EpochTimer:
+    """Accumulates per-epoch wall-clock durations.
+
+    Attributes
+    ----------
+    durations:
+        One entry per completed epoch, in seconds.
+    """
+
+    durations: List[float] = field(default_factory=list)
+    _start: Optional[float] = None
+
+    def begin_epoch(self) -> None:
+        """Mark the start of an epoch."""
+        self._start = time.perf_counter()
+
+    def end_epoch(self) -> float:
+        """Record and return the just-finished epoch's duration."""
+        if self._start is None:
+            raise RuntimeError("end_epoch() called before begin_epoch()")
+        elapsed = time.perf_counter() - self._start
+        self.durations.append(elapsed)
+        self._start = None
+        return elapsed
+
+    @property
+    def total(self) -> float:
+        """Total training time across recorded epochs."""
+        return float(sum(self.durations))
+
+    @property
+    def mean_per_epoch(self) -> float:
+        """Average training time per epoch — the Table I metric."""
+        if not self.durations:
+            return 0.0
+        return self.total / len(self.durations)

@@ -1,0 +1,125 @@
+"""Tests for BIM — the attack at the heart of the paper's experiments."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BIM, FGSM
+from repro.autograd import Tensor
+from repro.nn import cross_entropy
+
+
+class TestInvariants:
+    def test_total_linf_bound_respected(self, trained_mlp, tiny_batch):
+        """Even with a per-step size whose sum exceeds eps, the projection
+        keeps the total perturbation within budget."""
+        x, y = tiny_batch
+        attack = BIM(trained_mlp, epsilon=0.1, num_steps=10, step_size=0.05)
+        x_adv = attack.generate(x, y)
+        assert np.abs(x_adv - x).max() <= 0.1 + 1e-12
+
+    def test_stays_in_unit_box(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        x_adv = BIM(trained_mlp, 0.3, num_steps=5).generate(x, y)
+        assert x_adv.min() >= 0.0 and x_adv.max() <= 1.0
+
+    def test_default_step_is_eps_over_n(self, trained_mlp):
+        attack = BIM(trained_mlp, epsilon=0.3, num_steps=10)
+        assert np.isclose(attack.step_size, 0.03)
+
+    def test_bim1_with_full_step_equals_fgsm(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        bim = BIM(trained_mlp, epsilon=0.1, num_steps=1, step_size=0.1)
+        fgsm = FGSM(trained_mlp, 0.1)
+        assert np.allclose(bim.generate(x, y), fgsm.generate(x, y))
+
+    def test_stronger_than_fgsm(self, trained_mlp, digits_small):
+        """Paper premise: iterative attacks beat single-step at equal eps."""
+        _train, test = digits_small
+        x, y = test.arrays()
+        eps = 0.15
+        fgsm_acc = (
+            trained_mlp.predict(FGSM(trained_mlp, eps).generate(x, y)) == y
+        ).mean()
+        bim_acc = (
+            trained_mlp.predict(
+                BIM(trained_mlp, eps, num_steps=10).generate(x, y)
+            )
+            == y
+        ).mean()
+        assert bim_acc <= fgsm_acc
+
+    def test_increases_loss_monotonically_in_steps(
+        self, trained_mlp, tiny_batch
+    ):
+        """More BIM iterations should (weakly) increase the victim loss."""
+        x, y = tiny_batch
+        losses = []
+        for steps in (1, 5, 10):
+            x_adv = BIM(trained_mlp, 0.2, num_steps=steps).generate(x, y)
+            losses.append(
+                cross_entropy(trained_mlp(Tensor(x_adv)), y).item()
+            )
+        assert losses[2] >= losses[0]
+
+    def test_deterministic(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        attack = BIM(trained_mlp, 0.2, num_steps=3)
+        assert np.array_equal(attack.generate(x, y), attack.generate(x, y))
+
+
+class TestIntermediates:
+    def test_count_matches_steps(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        iterates = BIM(
+            trained_mlp, 0.2, num_steps=7
+        ).generate_with_intermediates(x, y)
+        assert len(iterates) == 7
+
+    def test_last_iterate_equals_generate(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        attack = BIM(trained_mlp, 0.2, num_steps=5)
+        iterates = attack.generate_with_intermediates(x, y)
+        assert np.allclose(iterates[-1], attack.generate(x, y))
+
+    def test_perturbation_grows_across_iterates(self, trained_mlp, tiny_batch):
+        """Figure 2 premise: cumulative perturbation grows per iteration."""
+        x, y = tiny_batch
+        iterates = BIM(
+            trained_mlp, 0.3, num_steps=6
+        ).generate_with_intermediates(x, y)
+        norms = [np.abs(it - x).max() for it in iterates]
+        assert all(b >= a - 1e-12 for a, b in zip(norms, norms[1:]))
+        # First iterate moved at most one step.
+        assert norms[0] <= 0.05 + 1e-12
+
+    def test_iterates_are_copies(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        iterates = BIM(
+            trained_mlp, 0.2, num_steps=3
+        ).generate_with_intermediates(x, y)
+        iterates[0][:] = -1.0
+        assert iterates[1].min() >= 0.0  # later iterates unaffected
+
+
+class TestStep:
+    def test_single_step_moves_at_most_step_size(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        attack = BIM(trained_mlp, epsilon=0.3, num_steps=10)
+        x_next = attack.step(x, x, y)
+        assert np.abs(x_next - x).max() <= attack.step_size + 1e-12
+
+    def test_step_projects_around_origin(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        attack = BIM(trained_mlp, epsilon=0.05, num_steps=1, step_size=0.5)
+        x_next = attack.step(x, x, y)
+        assert np.abs(x_next - x).max() <= 0.05 + 1e-12
+
+
+class TestValidation:
+    def test_bad_steps(self, trained_mlp):
+        with pytest.raises(ValueError, match="num_steps"):
+            BIM(trained_mlp, 0.1, num_steps=0)
+
+    def test_bad_epsilon(self, trained_mlp):
+        with pytest.raises(ValueError, match="epsilon"):
+            BIM(trained_mlp, -0.1)

@@ -1,0 +1,49 @@
+"""Tests for the momentum iterative method."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BIM, MIM
+from repro.autograd import Tensor
+from repro.nn import cross_entropy
+
+
+class TestInvariants:
+    def test_linf_bound(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        x_adv = MIM(trained_mlp, 0.1, num_steps=5).generate(x, y)
+        assert np.abs(x_adv - x).max() <= 0.1 + 1e-12
+
+    def test_unit_box(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        x_adv = MIM(trained_mlp, 0.4, num_steps=5).generate(x, y)
+        assert x_adv.min() >= 0.0 and x_adv.max() <= 1.0
+
+    def test_increases_loss(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        x_adv = MIM(trained_mlp, 0.2, num_steps=5).generate(x, y)
+        before = cross_entropy(trained_mlp(Tensor(x)), y).item()
+        after = cross_entropy(trained_mlp(Tensor(x_adv)), y).item()
+        assert after > before
+
+    def test_zero_decay_first_step_matches_bim(self, trained_mlp, tiny_batch):
+        """With decay=0 momentum reduces to the per-step gradient sign."""
+        x, y = tiny_batch
+        mim = MIM(trained_mlp, 0.2, num_steps=1, decay=0.0, step_size=0.2)
+        bim = BIM(trained_mlp, 0.2, num_steps=1, step_size=0.2)
+        assert np.allclose(mim.generate(x, y), bim.generate(x, y))
+
+    def test_momentum_changes_result(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        with_m = MIM(trained_mlp, 0.2, num_steps=5, decay=1.0).generate(x, y)
+        without = MIM(trained_mlp, 0.2, num_steps=5, decay=0.0).generate(x, y)
+        assert not np.array_equal(with_m, without)
+
+    def test_deterministic(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        attack = MIM(trained_mlp, 0.2, num_steps=3)
+        assert np.array_equal(attack.generate(x, y), attack.generate(x, y))
+
+    def test_invalid_decay(self, trained_mlp):
+        with pytest.raises(ValueError, match="decay"):
+            MIM(trained_mlp, 0.1, decay=-1.0)

@@ -1,0 +1,54 @@
+"""Tests for the random-noise baseline."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM, RandomNoise
+
+
+class TestRandomNoise:
+    def test_linf_bound(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        x_adv = RandomNoise(trained_mlp, 0.1, rng=0).generate(x, y)
+        assert np.abs(x_adv - x).max() <= 0.1 + 1e-12
+
+    def test_unit_box(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        x_adv = RandomNoise(trained_mlp, 0.5, rng=0).generate(x, y)
+        assert x_adv.min() >= 0.0 and x_adv.max() <= 1.0
+
+    def test_seeded(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        a = RandomNoise(trained_mlp, 0.1, rng=3).generate(x, y)
+        b = RandomNoise(trained_mlp, 0.1, rng=3).generate(x, y)
+        assert np.array_equal(a, b)
+
+    def test_weaker_than_fgsm(self, trained_mlp, digits_small):
+        """Sanity baseline: random noise must hurt far less than gradients."""
+        _train, test = digits_small
+        x, y = test.arrays()
+        eps = 0.2
+        noise_acc = (
+            trained_mlp.predict(
+                RandomNoise(trained_mlp, eps, rng=0).generate(x, y)
+            ) == y
+        ).mean()
+        fgsm_acc = (
+            trained_mlp.predict(FGSM(trained_mlp, eps).generate(x, y)) == y
+        ).mean()
+        assert noise_acc > fgsm_acc
+
+    def test_uses_no_gradients(self, trained_mlp, tiny_batch):
+        """RandomNoise never calls the model at all."""
+        x, y = tiny_batch
+
+        class Boom:
+            def __call__(self, *_a, **_k):
+                raise AssertionError("model should not be called")
+
+        attack = RandomNoise(Boom(), 0.1, rng=0)
+        attack.generate(x, y)  # must not raise
+
+    def test_invalid_epsilon(self, trained_mlp):
+        with pytest.raises(ValueError):
+            RandomNoise(trained_mlp, 0.0)

@@ -1,0 +1,92 @@
+"""Tests for the l2 PGD attack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import PGDL2, project_l2
+from repro.autograd import Tensor
+from repro.nn import cross_entropy
+
+
+def l2_norms(delta):
+    return np.linalg.norm(delta.reshape(len(delta), -1), axis=1)
+
+
+class TestProjectL2:
+    def test_inside_ball_unchanged(self):
+        x = np.zeros((1, 4))
+        adv = x + 0.01
+        assert np.allclose(project_l2(adv, x, 1.0), adv)
+
+    def test_outside_ball_scaled_to_radius(self):
+        x = np.zeros((1, 4))
+        adv = np.ones((1, 4))  # norm 2
+        out = project_l2(adv, x, 1.0)
+        assert np.isclose(l2_norms(out - x)[0], 1.0)
+
+    def test_direction_preserved(self):
+        x = np.zeros((1, 2))
+        adv = np.array([[3.0, 4.0]])
+        out = project_l2(adv, x, 1.0)
+        assert np.allclose(out / np.linalg.norm(out), adv / 5.0)
+
+    @given(scale=st.floats(0.01, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_always_within_radius(self, scale):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(4, 8))
+        adv = x + rng.normal(size=(4, 8)) * scale
+        out = project_l2(adv, x, 0.5)
+        assert (l2_norms(out - x) <= 0.5 + 1e-9).all()
+
+
+class TestPGDL2:
+    def test_l2_budget_respected(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        attack = PGDL2(trained_mlp, epsilon=1.0, num_steps=5, rng=0)
+        x_adv = attack.generate(x, y)
+        assert (l2_norms(x_adv - x) <= 1.0 + 1e-9).all()
+
+    def test_box_respected(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        x_adv = PGDL2(trained_mlp, epsilon=5.0, num_steps=5, rng=0).generate(
+            x, y
+        )
+        assert x_adv.min() >= 0.0 and x_adv.max() <= 1.0
+
+    def test_increases_loss(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        x_adv = PGDL2(
+            trained_mlp, epsilon=2.0, num_steps=10, rng=0
+        ).generate(x, y)
+        before = cross_entropy(trained_mlp(Tensor(x)), y).item()
+        after = cross_entropy(trained_mlp(Tensor(x_adv)), y).item()
+        assert after > before
+
+    def test_degrades_accuracy(self, trained_mlp, digits_small):
+        _train, test = digits_small
+        x, y = test.arrays()
+        clean = (trained_mlp.predict(x) == y).mean()
+        x_adv = PGDL2(trained_mlp, epsilon=3.0, num_steps=10, rng=0).generate(
+            x, y
+        )
+        assert (trained_mlp.predict(x_adv) == y).mean() < clean - 0.3
+
+    def test_default_step_heuristic(self, trained_mlp):
+        attack = PGDL2(trained_mlp, epsilon=1.0, num_steps=10)
+        assert np.isclose(attack.step_size, 0.25)
+
+    def test_no_random_start_deterministic(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        attack = PGDL2(
+            trained_mlp, epsilon=1.0, num_steps=3, random_start=False
+        )
+        assert np.array_equal(attack.generate(x, y), attack.generate(x, y))
+
+    def test_validation(self, trained_mlp):
+        with pytest.raises(ValueError):
+            PGDL2(trained_mlp, epsilon=0.0)
+        with pytest.raises(ValueError):
+            PGDL2(trained_mlp, epsilon=1.0, num_steps=0)

@@ -1,0 +1,62 @@
+"""Tests for the gradient-free SPSA attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import SPSA
+
+
+class TestSPSA:
+    def test_linf_bound(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        attack = SPSA(trained_mlp, 0.15, num_steps=3, samples=4, rng=0)
+        x_adv = attack.generate(x, y)
+        assert np.abs(x_adv - x).max() <= 0.15 + 1e-12
+
+    def test_box_bound(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        x_adv = SPSA(
+            trained_mlp, 0.5, num_steps=3, samples=4, rng=0
+        ).generate(x, y)
+        assert x_adv.min() >= 0.0 and x_adv.max() <= 1.0
+
+    def test_degrades_accuracy_without_gradients(
+        self, trained_mlp, digits_small
+    ):
+        _train, test = digits_small
+        x, y = test.arrays()
+        x, y = x[:40], y[:40]
+        clean = (trained_mlp.predict(x) == y).mean()
+        attack = SPSA(trained_mlp, 0.25, num_steps=8, samples=16, rng=0)
+        adv_acc = (trained_mlp.predict(attack.generate(x, y)) == y).mean()
+        assert adv_acc < clean - 0.3
+
+    def test_more_samples_at_least_as_strong(self, trained_mlp, digits_small):
+        _train, test = digits_small
+        x, y = test.arrays()
+        x, y = x[:30], y[:30]
+        weak = SPSA(trained_mlp, 0.25, num_steps=5, samples=2, rng=0)
+        strong = SPSA(trained_mlp, 0.25, num_steps=5, samples=24, rng=0)
+        weak_acc = (trained_mlp.predict(weak.generate(x, y)) == y).mean()
+        strong_acc = (trained_mlp.predict(strong.generate(x, y)) == y).mean()
+        assert strong_acc <= weak_acc + 0.1
+
+    def test_seeded_reproducibility(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        a = SPSA(trained_mlp, 0.2, num_steps=2, samples=4, rng=3).generate(x, y)
+        b = SPSA(trained_mlp, 0.2, num_steps=2, samples=4, rng=3).generate(x, y)
+        assert np.array_equal(a, b)
+
+    def test_no_graph_built(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        trained_mlp.zero_grad()  # other tests may have left gradients
+        SPSA(trained_mlp, 0.2, num_steps=1, samples=2, rng=0).generate(x, y)
+        assert all(p.grad is None for p in trained_mlp.parameters())
+
+    def test_validation(self, trained_mlp):
+        with pytest.raises(ValueError):
+            SPSA(trained_mlp, 0.1, samples=0)
+        with pytest.raises(ValueError):
+            SPSA(trained_mlp, 0.1, delta=0.0)
+        with pytest.raises(ValueError):
+            SPSA(trained_mlp, 0.1, num_steps=0)

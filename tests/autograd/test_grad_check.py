@@ -1,0 +1,37 @@
+"""Tests for the numerical gradient checker itself."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, numerical_gradient
+from repro.autograd.engine import Function
+
+
+def test_numerical_gradient_of_square():
+    x = Tensor(np.array([1.0, 2.0, 3.0]))
+    grad = numerical_gradient(lambda a: a * a, [x], 0)
+    assert np.allclose(grad, 2.0 * x.data, atol=1e-5)
+
+
+def test_check_gradients_passes_on_correct_op():
+    check_gradients(lambda a: a * 2.0, [Tensor(np.array([1.0, -2.0]))])
+
+
+def test_check_gradients_catches_wrong_backward():
+    class BadDouble(Function):
+        @staticmethod
+        def forward(ctx, a):
+            return a * 2.0
+
+        @staticmethod
+        def backward(ctx, grad_output):
+            return (grad_output * 3.0,)  # wrong: should be * 2
+
+    with pytest.raises(AssertionError, match="gradient mismatch"):
+        check_gradients(
+            lambda a: BadDouble.apply(a), [Tensor(np.array([1.0, 2.0]))]
+        )
+
+
+def test_check_gradients_coerces_raw_arrays():
+    check_gradients(lambda a: a + 1.0, [np.array([1.0, 2.0])])

@@ -1,0 +1,115 @@
+"""Tests for common-corruption transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import CORRUPTIONS, corrupt, corruption_sweep
+from repro.data.corruptions import (
+    brightness,
+    contrast,
+    gaussian_blur,
+    gaussian_noise,
+    impulse_noise,
+    pixelate,
+    shot_noise,
+)
+
+
+@pytest.fixture
+def batch():
+    return np.random.default_rng(0).uniform(0, 1, size=(4, 1, 28, 28))
+
+
+class TestAllCorruptions:
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    @pytest.mark.parametrize("severity", [1, 3, 5])
+    def test_output_in_unit_box(self, batch, name, severity):
+        out = corrupt(batch, name, severity, rng=0)
+        assert out.shape == batch.shape
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_changes_input(self, batch, name):
+        out = corrupt(batch, name, severity=3, rng=0)
+        assert not np.array_equal(out, batch)
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_does_not_mutate_input(self, batch, name):
+        original = batch.copy()
+        corrupt(batch, name, severity=3, rng=0)
+        assert np.array_equal(batch, original)
+
+    def test_unknown_name(self, batch):
+        with pytest.raises(KeyError, match="unknown corruption"):
+            corrupt(batch, "fog_of_war")
+
+    def test_invalid_severity(self, batch):
+        with pytest.raises(ValueError, match="severity"):
+            corrupt(batch, "gaussian_noise", severity=6)
+        with pytest.raises(ValueError, match="severity"):
+            corrupt(batch, "gaussian_noise", severity=0)
+
+
+class TestSeverityMonotonicity:
+    def test_gaussian_noise_grows(self, batch):
+        deltas = [
+            np.abs(gaussian_noise(batch, s, rng=0) - batch).mean()
+            for s in (1, 3, 5)
+        ]
+        assert deltas[0] < deltas[1] < deltas[2]
+
+    def test_contrast_shrinks_range(self, batch):
+        ranges = [
+            np.ptp(contrast(batch, s)) for s in (1, 5)
+        ]
+        assert ranges[1] < ranges[0]
+
+    def test_blur_smooths(self, batch):
+        def roughness(x):
+            return np.abs(np.diff(x, axis=-1)).mean()
+
+        assert roughness(gaussian_blur(batch, 5)) < roughness(batch)
+
+    def test_impulse_fraction_grows(self, batch):
+        def extremes(x):
+            return ((x == 0.0) | (x == 1.0)).mean()
+
+        low = extremes(impulse_noise(batch, 1, rng=0))
+        high = extremes(impulse_noise(batch, 5, rng=0))
+        assert high > low
+
+    def test_pixelate_reduces_detail(self, batch):
+        out = pixelate(batch, 5)
+        # Blocky output: fewer unique values per image.
+        assert len(np.unique(out[0])) < len(np.unique(batch[0]))
+
+    def test_brightness_shifts_mean(self, batch):
+        assert brightness(batch, 3).mean() > batch.mean()
+
+    def test_shot_noise_preserves_scale(self, batch):
+        out = shot_noise(batch, 1, rng=0)
+        assert abs(out.mean() - batch.mean()) < 0.05
+
+
+class TestCorruptionSweep:
+    def test_full_grid(self, trained_mlp, digits_small):
+        _train, test = digits_small
+        x, y = test.arrays()
+        results = corruption_sweep(
+            trained_mlp, x[:40], y[:40], severities=(1, 5), rng=0
+        )
+        assert set(results) == set(CORRUPTIONS)
+        for row in results.values():
+            assert set(row) == {1, 5}
+            for value in row.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_severity_hurts_on_average(self, trained_mlp, digits_small):
+        _train, test = digits_small
+        x, y = test.arrays()
+        results = corruption_sweep(
+            trained_mlp, x, y, severities=(1, 5), rng=0
+        )
+        mean_low = np.mean([row[1] for row in results.values()])
+        mean_high = np.mean([row[5] for row in results.values()])
+        assert mean_high <= mean_low + 0.02

@@ -1,0 +1,51 @@
+"""Tests for the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import dataset_epsilon, load_dataset
+
+
+class TestLoadDataset:
+    def test_digits_split_sizes(self):
+        train, test = load_dataset(
+            "digits", train_per_class=5, test_per_class=2, seed=0
+        )
+        assert len(train) == 50
+        assert len(test) == 20
+
+    def test_fashion(self):
+        train, test = load_dataset(
+            "fashion", train_per_class=3, test_per_class=2, seed=0
+        )
+        assert len(train) == 30
+
+    def test_train_test_disjoint_generation(self):
+        """Train and test come from different generator streams."""
+        train, test = load_dataset(
+            "digits", train_per_class=5, test_per_class=5, seed=0
+        )
+        tx, _ = train.arrays()
+        ex, _ = test.arrays()
+        # No test image should exactly equal any train image.
+        for i in range(len(ex)):
+            assert not (np.abs(tx - ex[i]).reshape(len(tx), -1).sum(1) < 1e-12).any()
+
+    def test_deterministic(self):
+        a, _ = load_dataset("digits", train_per_class=3, test_per_class=2, seed=1)
+        b, _ = load_dataset("digits", train_per_class=3, test_per_class=2, seed=1)
+        assert np.array_equal(a.arrays()[0], b.arrays()[0])
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("cifar")
+
+
+class TestEpsilon:
+    def test_values(self):
+        assert dataset_epsilon("digits") == 0.25
+        assert dataset_epsilon("fashion") == 0.15
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            dataset_epsilon("mnist")

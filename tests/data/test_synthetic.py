@@ -1,0 +1,137 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticDigits, SyntheticFashion
+from repro.data.synthetic import generate_digits, generate_fashion
+from repro.data.synthetic.render import (
+    affine_points,
+    pixel_grid,
+    render_polyline,
+)
+
+
+class TestRenderPrimitives:
+    def test_pixel_grid_bounds(self):
+        xs, ys = pixel_grid(28)
+        assert xs.shape == (28, 28)
+        assert 0.0 < xs.min() < xs.max() < 1.0
+
+    def test_render_polyline_range(self):
+        img = render_polyline([(0.2, 0.5), (0.8, 0.5)], size=28)
+        assert img.shape == (28, 28)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_stroke_is_bright_on_line(self):
+        img = render_polyline([(0.1, 0.5), (0.9, 0.5)], size=28, width=0.05)
+        assert img[14, 14] > 0.9      # on the stroke
+        assert img[2, 14] < 0.1       # far from it
+
+    def test_degenerate_segment_renders_point(self):
+        img = render_polyline([(0.5, 0.5), (0.5, 0.5)], size=28, width=0.05)
+        # Nearest pixel centre is ~0.018 away from the point in each axis.
+        assert img[14, 14] > 0.8
+
+    def test_invalid_polyline(self):
+        with pytest.raises(ValueError):
+            render_polyline([(0.5, 0.5)], size=28)
+
+    def test_affine_identity(self):
+        pts = np.array([[0.2, 0.3], [0.7, 0.8]])
+        assert np.allclose(affine_points(pts), pts)
+
+    def test_affine_translation(self):
+        pts = np.array([[0.5, 0.5]])
+        out = affine_points(pts, translation=(0.1, -0.2))
+        assert np.allclose(out, [[0.6, 0.3]])
+
+    def test_affine_rotation_preserves_center(self):
+        out = affine_points(np.array([[0.5, 0.5]]), rotation=1.0)
+        assert np.allclose(out, [[0.5, 0.5]])
+
+
+class TestGenerateDigits:
+    def test_shapes_and_range(self):
+        x, y = generate_digits(5, rng=0)
+        assert x.shape == (50, 1, 28, 28)
+        assert y.shape == (50,)
+        assert x.min() >= 0.0 and x.max() <= 1.0
+
+    def test_balanced_classes(self):
+        _x, y = generate_digits(7, rng=0)
+        counts = np.bincount(y, minlength=10)
+        assert (counts == 7).all()
+
+    def test_deterministic(self):
+        x1, y1 = generate_digits(3, rng=42)
+        x2, y2 = generate_digits(3, rng=42)
+        assert np.array_equal(x1, x2)
+        assert np.array_equal(y1, y2)
+
+    def test_different_seeds_differ(self):
+        x1, _ = generate_digits(3, rng=1)
+        x2, _ = generate_digits(3, rng=2)
+        assert not np.array_equal(x1, x2)
+
+    def test_intra_class_variation(self):
+        x, y = generate_digits(5, rng=0)
+        ones = x[y == 1]
+        assert not np.array_equal(ones[0], ones[1])
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_digits(0)
+
+    def test_near_binary_pixels(self):
+        """The MNIST stand-in must have saturated pixels (see DESIGN.md)."""
+        x, _ = generate_digits(5, rng=0)
+        extreme = ((x < 0.2) | (x > 0.8)).mean()
+        assert extreme > 0.8
+
+
+class TestGenerateFashion:
+    def test_shapes_and_range(self):
+        x, y = generate_fashion(5, rng=0)
+        assert x.shape == (50, 1, 28, 28)
+        assert x.min() >= 0.0 and x.max() <= 1.0
+
+    def test_balanced(self):
+        _x, y = generate_fashion(4, rng=0)
+        assert (np.bincount(y, minlength=10) == 4).all()
+
+    def test_deterministic(self):
+        x1, _ = generate_fashion(3, rng=9)
+        x2, _ = generate_fashion(3, rng=9)
+        assert np.array_equal(x1, x2)
+
+    def test_classes_distinguishable_by_mean_image(self):
+        """Class mean images must differ — otherwise nothing is learnable."""
+        x, y = generate_fashion(10, rng=0)
+        means = np.stack([x[y == c].mean(axis=0) for c in range(10)])
+        for a in range(10):
+            for b in range(a + 1, 10):
+                assert np.abs(means[a] - means[b]).mean() > 0.01
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_fashion(-1)
+
+
+class TestDatasetClasses:
+    def test_digits_dataset(self):
+        ds = SyntheticDigits(num_per_class=3, seed=0)
+        assert len(ds) == 30
+        x, y = ds[0]
+        assert x.shape == (1, 28, 28)
+        assert ds.num_classes == 10
+
+    def test_fashion_dataset(self):
+        ds = SyntheticFashion(num_per_class=3, seed=0)
+        assert len(ds) == 30
+        assert len(ds.class_names) == 10
+
+    def test_custom_size(self):
+        ds = SyntheticDigits(num_per_class=2, size=14, seed=0)
+        assert ds[0][0].shape == (1, 14, 14)
+        assert ds.image_shape == (1, 14, 14)

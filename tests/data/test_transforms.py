@@ -1,0 +1,87 @@
+"""Tests for array transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ClipToUnit,
+    Compose,
+    GaussianNoise,
+    Normalize,
+    RandomShift,
+)
+
+
+def batch(n=4, seed=0):
+    return np.random.default_rng(seed).uniform(0, 1, size=(n, 1, 8, 8))
+
+
+class TestNormalize:
+    def test_math(self):
+        out = Normalize(0.5, 2.0)(np.array([0.5, 2.5]))
+        assert np.allclose(out, [0.0, 1.0])
+
+    def test_invalid_std(self):
+        with pytest.raises(ValueError):
+            Normalize(0.0, 0.0)
+
+
+class TestClipToUnit:
+    def test_clips(self):
+        out = ClipToUnit()(np.array([-1.0, 0.5, 3.0]))
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+
+
+class TestGaussianNoise:
+    def test_changes_values(self):
+        x = batch()
+        assert not np.array_equal(GaussianNoise(0.1, rng=0)(x), x)
+
+    def test_zero_std_identity(self):
+        x = batch()
+        assert np.array_equal(GaussianNoise(0.0)(x), x)
+
+    def test_noise_magnitude(self):
+        x = np.zeros((1000,))
+        noisy = GaussianNoise(0.1, rng=0)(x)
+        assert abs(noisy.std() - 0.1) < 0.02
+
+    def test_invalid_std(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-0.1)
+
+
+class TestRandomShift:
+    def test_zero_shift_identity(self):
+        x = batch()
+        assert np.array_equal(RandomShift(0)(x), x)
+
+    def test_preserves_shape(self):
+        x = batch()
+        assert RandomShift(2, rng=0)(x).shape == x.shape
+
+    def test_pads_with_zeros(self):
+        x = np.ones((20, 1, 8, 8))
+        out = RandomShift(3, rng=0)(x)
+        # Some image must have been shifted, introducing zero strips.
+        assert (out == 0).any()
+
+    def test_mass_not_increased(self):
+        x = batch()
+        out = RandomShift(2, rng=0)(x)
+        assert out.sum() <= x.sum() + 1e-9
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RandomShift(-1)
+
+
+class TestCompose:
+    def test_applies_in_order(self):
+        pipeline = Compose([Normalize(0.0, 2.0), ClipToUnit()])
+        out = pipeline(np.array([4.0, -2.0]))
+        assert np.allclose(out, [1.0, 0.0])
+
+    def test_empty_is_identity(self):
+        x = batch()
+        assert np.array_equal(Compose([])(x), x)

@@ -1,0 +1,132 @@
+"""Tests for training callbacks."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader
+from repro.defenses import Checkpointer, EarlyStopping, Trainer
+from repro.models import mnist_mlp
+from repro.optim import Adam
+
+
+class TestCheckpointer:
+    def test_periodic_saves(self, tmp_path, digits_small):
+        train, _ = digits_small
+        model = mnist_mlp(seed=0)
+        trainer = Trainer(model, Adam(model.parameters(), lr=2e-3))
+        ckpt = Checkpointer(str(tmp_path), every=2, keep_best=False)
+        trainer.fit(
+            DataLoader(train, batch_size=64, rng=0),
+            epochs=4,
+            callbacks=[ckpt],
+        )
+        files = sorted(os.listdir(tmp_path))
+        assert "epoch_0002.npz" in files
+        assert "epoch_0004.npz" in files
+
+    def test_best_tracking_max_mode(self, tmp_path):
+        model = mnist_mlp(seed=0)
+        ckpt = Checkpointer(str(tmp_path), mode="max")
+        ckpt.on_epoch_end(1, model, 0.5)
+        ckpt.on_epoch_end(2, model, 0.7)
+        ckpt.on_epoch_end(3, model, 0.6)
+        assert ckpt.best_value == 0.7
+        assert ckpt.best_epoch == 2
+        assert os.path.exists(tmp_path / "best.npz")
+
+    def test_best_tracking_min_mode(self, tmp_path):
+        model = mnist_mlp(seed=0)
+        ckpt = Checkpointer(str(tmp_path), mode="min")
+        ckpt.on_epoch_end(1, model, 1.0)
+        ckpt.on_epoch_end(2, model, 0.3)
+        assert ckpt.best_value == 0.3
+
+    def test_none_metric_no_best(self, tmp_path):
+        model = mnist_mlp(seed=0)
+        ckpt = Checkpointer(str(tmp_path))
+        ckpt.on_epoch_end(1, model, None)
+        assert ckpt.best_value is None
+
+    def test_load_best_restores_weights(self, tmp_path):
+        model = mnist_mlp(seed=0)
+        ckpt = Checkpointer(str(tmp_path))
+        ckpt.on_epoch_end(1, model, 0.9)
+        saved = model.head.weight.data.copy()
+        model.head.weight.data += 5.0
+        ckpt.load_best(model)
+        assert np.allclose(model.head.weight.data, saved)
+
+    def test_never_requests_stop(self, tmp_path):
+        model = mnist_mlp(seed=0)
+        ckpt = Checkpointer(str(tmp_path))
+        assert ckpt.on_epoch_end(1, model, 0.9) is False
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            Checkpointer(str(tmp_path), every=-1)
+        with pytest.raises(ValueError):
+            Checkpointer(str(tmp_path), mode="median")
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2, mode="max")
+        model = mnist_mlp(seed=0)
+        assert not stopper.on_epoch_end(1, model, 0.9)
+        assert not stopper.on_epoch_end(2, model, 0.8)  # stale 1
+        assert stopper.on_epoch_end(3, model, 0.8)      # stale 2 -> stop
+
+    def test_improvement_resets_patience(self):
+        stopper = EarlyStopping(patience=2, mode="max")
+        model = mnist_mlp(seed=0)
+        stopper.on_epoch_end(1, model, 0.5)
+        stopper.on_epoch_end(2, model, 0.4)
+        stopper.on_epoch_end(3, model, 0.6)  # improvement
+        assert stopper.stale == 0
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1, mode="max")
+        model = mnist_mlp(seed=0)
+        stopper.on_epoch_end(1, model, 0.5)
+        # +0.05 is below min_delta -> counts as stale -> stop
+        assert stopper.on_epoch_end(2, model, 0.55)
+
+    def test_min_mode(self):
+        stopper = EarlyStopping(patience=1, mode="min")
+        model = mnist_mlp(seed=0)
+        stopper.on_epoch_end(1, model, 1.0)
+        assert not stopper.on_epoch_end(2, model, 0.5)
+        assert stopper.on_epoch_end(3, model, 0.7)
+
+    def test_none_metric_ignored(self):
+        stopper = EarlyStopping(patience=1)
+        model = mnist_mlp(seed=0)
+        assert not stopper.on_epoch_end(1, model, None)
+        assert stopper.stale == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(min_delta=-0.1)
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="best")
+
+
+class TestIntegration:
+    def test_early_stop_cuts_training_short(self, digits_small):
+        train, test = digits_small
+        x, y = test.arrays()
+        model = mnist_mlp(seed=0)
+        trainer = Trainer(model, Adam(model.parameters(), lr=2e-3))
+        # Patience 1 on a constant metric stops at the second evaluation.
+        history = trainer.fit(
+            DataLoader(train, batch_size=64, rng=0),
+            epochs=20,
+            eval_fn=lambda m: 0.5,
+            eval_every=1,
+            callbacks=[EarlyStopping(patience=1)],
+        )
+        assert len(history.losses) == 2

@@ -1,0 +1,158 @@
+"""Tests for the ATDA domain-adaptation losses."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.defenses import (
+    ClassCenters,
+    coral_loss,
+    covariance,
+    margin_center_loss,
+    mean_alignment_loss,
+)
+
+
+def emb(n=8, d=4, seed=0, shift=0.0):
+    return Tensor(
+        np.random.default_rng(seed).normal(size=(n, d)) + shift
+    )
+
+
+class TestCovariance:
+    def test_matches_numpy(self):
+        x = np.random.default_rng(0).normal(size=(16, 5))
+        ours = covariance(Tensor(x)).data
+        theirs = np.cov(x, rowvar=False)
+        assert np.allclose(ours, theirs)
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            covariance(Tensor(np.zeros(5)))
+
+    def test_gradients(self):
+        check_gradients(lambda a: covariance(a).sum(), [emb(6, 3)])
+
+
+class TestCoral:
+    def test_zero_for_identical_domains(self):
+        x = emb()
+        assert coral_loss(x, x).item() == pytest.approx(0.0)
+
+    def test_positive_for_different_domains(self):
+        a = emb(seed=0)
+        b = Tensor(emb(seed=1).data * 3.0)  # different covariance scale
+        assert coral_loss(a, b).item() > 0.0
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            coral_loss(emb(d=4), emb(d=5))
+
+    def test_gradients(self):
+        check_gradients(
+            lambda a, b: coral_loss(a, b), [emb(6, 3), emb(6, 3, seed=1)]
+        )
+
+    def test_mean_invariant(self):
+        """CORAL aligns covariances; adding a constant must not change it."""
+        a, b = emb(seed=0), emb(seed=1)
+        shifted = Tensor(b.data + 10.0)
+        assert np.isclose(
+            coral_loss(a, b).item(), coral_loss(a, shifted).item()
+        )
+
+
+class TestMeanAlignment:
+    def test_zero_for_identical(self):
+        x = emb()
+        assert mean_alignment_loss(x, x).item() == pytest.approx(0.0)
+
+    def test_detects_mean_shift(self):
+        a = emb(seed=0)
+        b = Tensor(a.data + 2.0)
+        assert mean_alignment_loss(a, b).item() == pytest.approx(2.0)
+
+    def test_gradients(self):
+        check_gradients(
+            lambda a, b: mean_alignment_loss(a, b),
+            [emb(6, 3), emb(6, 3, seed=1)],
+        )
+
+
+class TestClassCenters:
+    def test_first_update_adopts_batch_mean(self):
+        centers = ClassCenters(3, 2, momentum=0.9)
+        e = np.array([[1.0, 1.0], [3.0, 3.0]])
+        centers.update(e, np.array([0, 0]))
+        assert np.allclose(centers.centers[0], [2.0, 2.0])
+
+    def test_ema_blends(self):
+        centers = ClassCenters(2, 1, momentum=0.5)
+        centers.update(np.array([[0.0]]), np.array([0]))
+        centers.update(np.array([[2.0]]), np.array([0]))
+        assert np.allclose(centers.centers[0], [1.0])
+
+    def test_untouched_classes_stay_zero(self):
+        centers = ClassCenters(3, 2)
+        centers.update(np.array([[1.0, 1.0]]), np.array([1]))
+        assert np.allclose(centers.centers[0], 0.0)
+        assert np.allclose(centers.centers[2], 0.0)
+
+    def test_accepts_tensor(self):
+        centers = ClassCenters(2, 2)
+        centers.update(Tensor(np.ones((2, 2))), np.array([0, 1]))
+        assert np.allclose(centers.centers, 1.0)
+
+    def test_as_array_copies(self):
+        centers = ClassCenters(2, 2)
+        arr = centers.as_array()
+        arr[:] = 99.0
+        assert np.allclose(centers.centers, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClassCenters(0, 2)
+        with pytest.raises(ValueError):
+            ClassCenters(2, 2, momentum=1.0)
+
+
+class TestMarginCenterLoss:
+    def test_zero_when_well_separated(self):
+        # Embeddings sit exactly on their centres, centres far apart.
+        centers = np.array([[0.0, 0.0], [100.0, 100.0]])
+        embeddings = Tensor(np.array([[0.0, 0.0], [100.0, 100.0]]))
+        loss = margin_center_loss(
+            embeddings, np.array([0, 1]), centers, margin=1.0
+        )
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_positive_when_confused(self):
+        centers = np.array([[0.0, 0.0], [0.1, 0.1]])
+        embeddings = Tensor(np.array([[0.05, 0.05]]))
+        loss = margin_center_loss(
+            embeddings, np.array([0]), centers, margin=1.0
+        )
+        assert loss.item() > 0.0
+
+    def test_larger_margin_larger_loss(self):
+        centers = np.array([[0.0, 0.0], [1.0, 1.0]])
+        embeddings = emb(6, 2)
+        labels = np.array([0, 1, 0, 1, 0, 1])
+        small = margin_center_loss(embeddings, labels, centers, margin=0.1)
+        large = margin_center_loss(embeddings, labels, centers, margin=5.0)
+        assert large.item() >= small.item()
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            margin_center_loss(
+                emb(2, 2), np.array([0, 0]), np.zeros((1, 2))
+            )
+
+    def test_gradients_flow_to_embeddings(self):
+        centers = np.random.default_rng(3).normal(size=(3, 4))
+        labels = np.array([0, 1, 2, 0])
+        x = emb(4, 4)
+        x.requires_grad = True
+        margin_center_loss(x, labels, centers, margin=2.0).backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0

@@ -1,0 +1,70 @@
+"""Tests for the label-smoothing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader
+from repro.defenses import LabelSmoothingTrainer, build_trainer
+from repro.models import mnist_mlp
+from repro.optim import Adam
+
+
+def make_trainer(smoothing=0.1):
+    model = mnist_mlp(seed=0)
+    return LabelSmoothingTrainer(
+        model, Adam(model.parameters(), lr=2e-3), smoothing=smoothing
+    )
+
+
+class TestLabelSmoothing:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_trainer(smoothing=1.5)
+
+    def test_trains_to_high_clean_accuracy(self, digits_small):
+        train, test = digits_small
+        trainer = make_trainer()
+        trainer.fit(DataLoader(train, batch_size=64, rng=0), epochs=10)
+        x, y = test.arrays()
+        assert (trainer.model.predict(x) == y).mean() > 0.85
+
+    def test_softens_confidence(self, digits_small):
+        """Smoothed training must produce less extreme probabilities than
+        hard-label training."""
+        from repro.defenses import Trainer
+
+        train, test = digits_small
+        x, _y = test.arrays()
+        loader = DataLoader(train, batch_size=64, rng=0)
+
+        smooth = make_trainer(smoothing=0.3)
+        smooth.fit(loader, epochs=10)
+        hard_model = mnist_mlp(seed=0)
+        Trainer(hard_model, Adam(hard_model.parameters(), lr=2e-3)).fit(
+            loader, epochs=10
+        )
+        smooth_conf = smooth.model.predict_proba(x).max(axis=1).mean()
+        hard_conf = hard_model.predict_proba(x).max(axis=1).mean()
+        assert smooth_conf < hard_conf
+
+    def test_still_defeated_by_bim(self, digits_small):
+        """The negative-baseline property: label smoothing alone must NOT
+        resist iterative attacks (this is why the paper needs adversarial
+        training at all)."""
+        from repro.attacks import BIM
+
+        train, test = digits_small
+        trainer = make_trainer()
+        trainer.fit(DataLoader(train, batch_size=64, rng=0), epochs=10)
+        x, y = test.arrays()
+        model = trainer.model
+        adv_acc = (
+            model.predict(BIM(model, 0.25, num_steps=10).generate(x, y)) == y
+        ).mean()
+        assert adv_acc < 0.15
+
+    def test_registry(self):
+        trainer = build_trainer(
+            "label_smooth", mnist_mlp(seed=0), epsilon=0.2
+        )
+        assert isinstance(trainer, LabelSmoothingTrainer)

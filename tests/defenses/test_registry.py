@@ -1,0 +1,62 @@
+"""Tests for the defense registry."""
+
+import pytest
+
+from repro.defenses import (
+    AtdaTrainer,
+    DEFENSE_NAMES,
+    EpochwiseAdvTrainer,
+    FgsmAdvTrainer,
+    IterAdvTrainer,
+    Trainer,
+    build_trainer,
+)
+from repro.models import mnist_mlp
+from repro.optim import Adam, SGD
+
+
+class TestBuildTrainer:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("vanilla", Trainer),
+            ("fgsm_adv", FgsmAdvTrainer),
+            ("atda", AtdaTrainer),
+            ("proposed", EpochwiseAdvTrainer),
+            ("bim10_adv", IterAdvTrainer),
+            ("bim30_adv", IterAdvTrainer),
+        ],
+    )
+    def test_builds_expected_class(self, name, cls):
+        trainer = build_trainer(name, mnist_mlp(seed=0), epsilon=0.2)
+        assert type(trainer) is cls
+
+    def test_bim_step_counts(self):
+        t10 = build_trainer("bim10_adv", mnist_mlp(seed=0), epsilon=0.2)
+        t30 = build_trainer("bim30_adv", mnist_mlp(seed=0), epsilon=0.2)
+        assert t10.num_steps == 10
+        assert t30.num_steps == 30
+
+    def test_all_names_listed(self):
+        for name in DEFENSE_NAMES:
+            build_trainer(name, mnist_mlp(seed=0), epsilon=0.2)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown defense"):
+            build_trainer("magnet", mnist_mlp(seed=0), epsilon=0.2)
+
+    def test_custom_optimizer_respected(self):
+        model = mnist_mlp(seed=0)
+        opt = SGD(model.parameters(), lr=0.5)
+        trainer = build_trainer("vanilla", model, epsilon=0.2, optimizer=opt)
+        assert trainer.optimizer is opt
+
+    def test_default_optimizer_is_adam(self):
+        trainer = build_trainer("vanilla", mnist_mlp(seed=0), epsilon=0.2)
+        assert isinstance(trainer.optimizer, Adam)
+
+    def test_kwargs_forwarded(self):
+        trainer = build_trainer(
+            "proposed", mnist_mlp(seed=0), epsilon=0.2, reset_interval=7
+        )
+        assert trainer.reset_interval == 7

@@ -1,0 +1,98 @@
+"""Tests for the vanilla Trainer and TrainingHistory."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader
+from repro.defenses import Trainer, TrainingHistory
+from repro.models import mnist_mlp
+from repro.optim import Adam, SGD, StepLR
+
+
+def make_trainer(lr=2e-3):
+    model = mnist_mlp(seed=0)
+    return Trainer(model, Adam(model.parameters(), lr=lr))
+
+
+class TestFit:
+    def test_loss_decreases(self, digits_small):
+        train, _test = digits_small
+        trainer = make_trainer()
+        history = trainer.fit(DataLoader(train, batch_size=64, rng=0), epochs=6)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_history_lengths(self, digits_small):
+        train, _test = digits_small
+        history = make_trainer().fit(
+            DataLoader(train, batch_size=64, rng=0), epochs=3
+        )
+        assert len(history.losses) == 3
+        assert len(history.epoch_seconds) == 3
+
+    def test_reaches_high_clean_accuracy(self, digits_small):
+        train, test = digits_small
+        trainer = make_trainer()
+        trainer.fit(DataLoader(train, batch_size=64, rng=0), epochs=10)
+        x, y = test.arrays()
+        assert (trainer.model.predict(x) == y).mean() > 0.85
+
+    def test_eval_callback_invoked(self, digits_small):
+        train, test = digits_small
+        x, y = test.arrays()
+        trainer = make_trainer()
+        history = trainer.fit(
+            DataLoader(train, batch_size=64, rng=0),
+            epochs=4,
+            eval_fn=lambda m: (m.predict(x) == y).mean(),
+            eval_every=2,
+        )
+        assert set(history.eval_accuracy) == {2, 4}
+
+    def test_eval_always_runs_on_last_epoch(self, digits_small):
+        train, test = digits_small
+        x, y = test.arrays()
+        history = make_trainer().fit(
+            DataLoader(train, batch_size=64, rng=0),
+            epochs=3,
+            eval_fn=lambda m: (m.predict(x) == y).mean(),
+            eval_every=0,
+        )
+        assert list(history.eval_accuracy) == [3]
+
+    def test_model_left_in_eval_mode(self, digits_small):
+        train, _ = digits_small
+        trainer = make_trainer()
+        trainer.fit(DataLoader(train, batch_size=64, rng=0), epochs=1)
+        assert not trainer.model.training
+
+    def test_epoch_counter_advances(self, digits_small):
+        train, _ = digits_small
+        trainer = make_trainer()
+        loader = DataLoader(train, batch_size=64, rng=0)
+        trainer.fit(loader, epochs=2)
+        trainer.fit(loader, epochs=2)
+        assert trainer.epoch == 4
+
+    def test_invalid_epochs(self, digits_small):
+        train, _ = digits_small
+        with pytest.raises(ValueError):
+            make_trainer().fit(DataLoader(train, rng=0), epochs=0)
+
+    def test_scheduler_steps_once_per_epoch(self, digits_small):
+        train, _ = digits_small
+        model = mnist_mlp(seed=0)
+        opt = SGD(model.parameters(), lr=1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        trainer = Trainer(model, opt, scheduler=sched)
+        trainer.fit(DataLoader(train, batch_size=64, rng=0), epochs=3)
+        assert np.isclose(opt.lr, 0.125)
+
+
+class TestTrainingHistory:
+    def test_time_per_epoch(self):
+        history = TrainingHistory(epoch_seconds=[1.0, 3.0])
+        assert history.time_per_epoch == 2.0
+        assert history.total_time == 4.0
+
+    def test_empty(self):
+        assert TrainingHistory().time_per_epoch == 0.0

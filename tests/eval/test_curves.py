@@ -1,0 +1,55 @@
+"""Tests for security curves."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM
+from repro.eval import security_curve, security_curves
+
+
+def builder(model, eps):
+    return FGSM(model, eps)
+
+
+class TestSecurityCurve:
+    def test_monotone_decreasing_for_honest_model(
+        self, trained_mlp, digits_small
+    ):
+        _train, test = digits_small
+        x, y = test.arrays()
+        curve = security_curve(
+            trained_mlp, builder, x, y, [0.05, 0.15, 0.3]
+        )
+        assert len(curve) == 3
+        assert curve[0] >= curve[1] >= curve[2] - 0.05
+
+    def test_small_eps_near_clean(self, trained_mlp, digits_small):
+        _train, test = digits_small
+        x, y = test.arrays()
+        clean = (trained_mlp.predict(x) == y).mean()
+        curve = security_curve(trained_mlp, builder, x, y, [0.005])
+        assert abs(curve[0] - clean) < 0.15
+
+    def test_empty_epsilons_rejected(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        with pytest.raises(ValueError):
+            security_curve(trained_mlp, builder, x, y, [])
+
+    def test_non_positive_eps_rejected(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        with pytest.raises(ValueError):
+            security_curve(trained_mlp, builder, x, y, [0.1, 0.0])
+
+
+class TestSecurityCurves:
+    def test_per_model_keys(self, trained_mlp, fresh_mlp, tiny_batch):
+        x, y = tiny_batch
+        curves = security_curves(
+            {"trained": trained_mlp, "fresh": fresh_mlp},
+            builder,
+            x,
+            y,
+            [0.1],
+        )
+        assert set(curves) == {"trained", "fresh"}
+        assert all(len(c) == 1 for c in curves.values())

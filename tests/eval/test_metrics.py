@@ -1,0 +1,81 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    accuracy,
+    confusion_matrix,
+    per_class_accuracy,
+    random_guess_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([1, 2]), np.array([1, 2])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([1, 0]), np.array([1, 1])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            accuracy(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            accuracy(np.array([]), np.array([]))
+
+    @given(
+        labels=st.lists(st.integers(0, 4), min_size=1, max_size=50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bounds(self, labels):
+        labels = np.array(labels)
+        predictions = np.roll(labels, 1)
+        value = accuracy(predictions, labels)
+        assert 0.0 <= value <= 1.0
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        y = np.array([0, 1, 2, 2])
+        matrix = confusion_matrix(y, y, 3)
+        assert np.array_equal(np.diag(matrix), [1, 1, 2])
+        assert matrix.sum() == 4
+
+    def test_off_diagonal(self):
+        matrix = confusion_matrix(np.array([1]), np.array([0]), 2)
+        assert matrix[0, 1] == 1
+
+    def test_rows_are_true_class(self):
+        matrix = confusion_matrix(
+            np.array([1, 1, 1]), np.array([0, 0, 1]), 2
+        )
+        assert matrix[0].sum() == 2
+        assert matrix[1].sum() == 1
+
+
+class TestPerClass:
+    def test_values(self):
+        predictions = np.array([0, 0, 1, 2])
+        labels = np.array([0, 1, 1, 2])
+        per = per_class_accuracy(predictions, labels, 3)
+        assert per[0] == 1.0
+        assert per[1] == 0.5
+        assert per[2] == 1.0
+
+    def test_absent_class_zero(self):
+        per = per_class_accuracy(np.array([0]), np.array([0]), 3)
+        assert per[2] == 0.0
+
+
+class TestRandomGuess:
+    def test_ten_classes(self):
+        assert random_guess_accuracy(10) == 0.1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            random_guess_accuracy(0)

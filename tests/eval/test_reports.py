@@ -1,0 +1,56 @@
+"""Tests for report rendering."""
+
+import pytest
+
+from repro.eval import format_curve, format_percent, format_table
+
+
+class TestFormatPercent:
+    def test_paper_style(self):
+        assert format_percent(0.9421) == "94.21%"
+        assert format_percent(0.0) == "0.00%"
+        assert format_percent(1.0) == "100.00%"
+
+
+class TestFormatTable:
+    def test_contains_cells_and_headers(self):
+        text = format_table(
+            ["method", "acc"], [["fgsm", "94%"], ["bim", "12%"]],
+            title="Results",
+        )
+        assert "Results" in text
+        assert "method" in text
+        assert "fgsm" in text
+        assert "12%" in text
+
+    def test_alignment(self):
+        text = format_table(["a", "b"], [["xxxx", "y"]])
+        lines = text.splitlines()
+        # All rows equal width.
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatCurve:
+    def test_includes_points_and_sparkline(self):
+        text = format_curve(
+            [1, 2, 3], [0.9, 0.5, 0.1], x_label="N", y_label="acc"
+        )
+        assert "90.00%" in text
+        assert "10.00%" in text
+        assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_curve([1, 2], [0.5], "x", "y")
+
+    def test_flat_curve_no_crash(self):
+        text = format_curve([1, 2], [0.5, 0.5], "x", "y")
+        assert "50.00%" in text

@@ -1,0 +1,128 @@
+"""Tests for the robustness measurement protocols."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM, RandomNoise
+from repro.eval import (
+    RobustnessEvaluator,
+    attack_iteration_sweep,
+    clean_accuracy,
+    intermediate_iterate_curve,
+    robust_accuracy,
+)
+
+
+class TestCleanAccuracy:
+    def test_matches_manual(self, trained_mlp, digits_small):
+        _train, test = digits_small
+        x, y = test.arrays()
+        manual = (trained_mlp.predict(x) == y).mean()
+        assert clean_accuracy(trained_mlp, x, y) == pytest.approx(manual)
+
+    def test_batching_invariant(self, trained_mlp, digits_small):
+        _train, test = digits_small
+        x, y = test.arrays()
+        a = clean_accuracy(trained_mlp, x, y, batch_size=7)
+        b = clean_accuracy(trained_mlp, x, y, batch_size=1000)
+        assert a == pytest.approx(b)
+
+
+class TestRobustAccuracy:
+    def test_attack_lowers_accuracy(self, trained_mlp, digits_small):
+        _train, test = digits_small
+        x, y = test.arrays()
+        clean = clean_accuracy(trained_mlp, x, y)
+        robust = robust_accuracy(trained_mlp, FGSM(trained_mlp, 0.25), x, y)
+        assert robust < clean
+
+    def test_batching_invariant_for_deterministic_attack(
+        self, trained_mlp, digits_small
+    ):
+        _train, test = digits_small
+        x, y = test.arrays()
+        attack = FGSM(trained_mlp, 0.1)
+        a = robust_accuracy(trained_mlp, attack, x, y, batch_size=13)
+        b = robust_accuracy(trained_mlp, attack, x, y, batch_size=500)
+        assert a == pytest.approx(b)
+
+
+class TestIterationSweep:
+    def test_returns_requested_counts(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        sweep = attack_iteration_sweep(trained_mlp, x, y, 0.2, [1, 3])
+        assert set(sweep) == {1, 3}
+
+    def test_more_iterations_weakly_stronger(self, trained_mlp, digits_small):
+        _train, test = digits_small
+        x, y = test.arrays()
+        sweep = attack_iteration_sweep(trained_mlp, x, y, 0.2, [1, 10])
+        assert sweep[10] <= sweep[1] + 0.05
+
+
+class TestIntermediateCurve:
+    def test_length(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        curve = intermediate_iterate_curve(
+            trained_mlp, x, y, 0.2, num_steps=6
+        )
+        assert len(curve) == 6
+
+    def test_last_point_matches_full_attack(self, trained_mlp, digits_small):
+        from repro.attacks import BIM
+
+        _train, test = digits_small
+        x, y = test.arrays()
+        curve = intermediate_iterate_curve(
+            trained_mlp, x, y, 0.2, num_steps=5
+        )
+        full = robust_accuracy(
+            trained_mlp, BIM(trained_mlp, 0.2, num_steps=5), x, y
+        )
+        assert curve[-1] == pytest.approx(full)
+
+    def test_trend_decreasing(self, trained_mlp, digits_small):
+        """Figure 2 shape: accuracy decreases as iterates accumulate."""
+        _train, test = digits_small
+        x, y = test.arrays()
+        curve = intermediate_iterate_curve(
+            trained_mlp, x, y, 0.25, num_steps=8
+        )
+        assert curve[-1] <= curve[0]
+
+
+class TestEvaluator:
+    def test_paper_suite_columns(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        suite = RobustnessEvaluator.paper_suite(0.2)
+        results = suite.evaluate(trained_mlp, x, y)
+        assert set(results) == {"original", "fgsm", "bim10", "bim30"}
+
+    def test_none_builder_means_clean(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        suite = RobustnessEvaluator({"clean": lambda m: None})
+        results = suite.evaluate(trained_mlp, x, y)
+        assert results["clean"] == pytest.approx(
+            clean_accuracy(trained_mlp, x, y)
+        )
+
+    def test_custom_suite(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        suite = RobustnessEvaluator(
+            {"noise": lambda m: RandomNoise(m, 0.1, rng=0)}
+        )
+        results = suite.evaluate(trained_mlp, x, y)
+        assert 0.0 <= results["noise"] <= 1.0
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            RobustnessEvaluator({})
+
+    def test_ordering_clean_ge_fgsm_ge_bim(self, trained_mlp, digits_small):
+        """On an undefended model the paper's column ordering must hold."""
+        _train, test = digits_small
+        x, y = test.arrays()
+        res = RobustnessEvaluator.paper_suite(0.2).evaluate(
+            trained_mlp, x, y
+        )
+        assert res["original"] >= res["fgsm"] >= res["bim10"] - 0.02

@@ -1,0 +1,84 @@
+"""Tests for transfer-attack evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM
+from repro.data import DataLoader
+from repro.defenses import Trainer
+from repro.eval import clean_accuracy, transfer_accuracy, transfer_matrix
+from repro.models import mnist_mlp
+from repro.optim import Adam
+
+
+@pytest.fixture(scope="module")
+def surrogate(digits_small_module):
+    train, _ = digits_small_module
+    model = mnist_mlp(seed=5)
+    Trainer(model, Adam(model.parameters(), lr=2e-3)).fit(
+        DataLoader(train, batch_size=64, rng=0), epochs=8
+    )
+    return model
+
+
+@pytest.fixture(scope="module")
+def digits_small_module():
+    from repro.data import load_dataset
+
+    return load_dataset("digits", train_per_class=20, test_per_class=10, seed=0)
+
+
+class TestTransferAccuracy:
+    def test_transfer_hurts_but_less_than_whitebox(
+        self, trained_mlp, surrogate, digits_small_module
+    ):
+        _train, test = digits_small_module
+        x, y = test.arrays()
+        eps = 0.25
+        clean = clean_accuracy(trained_mlp, x, y)
+        transferred = transfer_accuracy(
+            trained_mlp, FGSM(surrogate, eps), x, y
+        )
+        whitebox = transfer_accuracy(
+            trained_mlp, FGSM(trained_mlp, eps), x, y
+        )
+        assert transferred < clean           # transfer does real damage
+        assert whitebox <= transferred + 0.05  # white-box at least as strong
+
+    def test_batching_invariant(self, trained_mlp, surrogate, digits_small_module):
+        _train, test = digits_small_module
+        x, y = test.arrays()
+        attack = FGSM(surrogate, 0.1)
+        a = transfer_accuracy(trained_mlp, attack, x, y, batch_size=7)
+        b = transfer_accuracy(trained_mlp, attack, x, y, batch_size=500)
+        assert a == pytest.approx(b)
+
+
+class TestTransferMatrix:
+    def test_full_grid(self, trained_mlp, surrogate, digits_small_module):
+        _train, test = digits_small_module
+        x, y = test.arrays()
+        models = {"victim": trained_mlp, "surrogate": surrogate}
+        grid = transfer_matrix(
+            models, lambda m: FGSM(m, 0.2), x, y
+        )
+        assert set(grid) == {"victim", "surrogate"}
+        for row in grid.values():
+            assert set(row) == {"victim", "surrogate"}
+            for value in row.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_diagonal_is_whitebox(self, trained_mlp, digits_small_module):
+        _train, test = digits_small_module
+        x, y = test.arrays()
+        grid = transfer_matrix(
+            {"m": trained_mlp}, lambda m: FGSM(m, 0.2), x, y
+        )
+        direct = transfer_accuracy(
+            trained_mlp, FGSM(trained_mlp, 0.2), x, y
+        )
+        assert grid["m"]["m"] == pytest.approx(direct)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_matrix({}, lambda m: None, np.zeros((1, 1, 4, 4)), np.zeros(1))

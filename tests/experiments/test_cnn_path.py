@@ -1,0 +1,41 @@
+"""The experiment pipeline must also work with the ConvNet models.
+
+The headline benchmarks use the MLP for speed; these tests pin that the
+same pipeline runs end-to-end with the CNN architectures (the paper's
+model family), so a full-fidelity CNN rerun is a config change away.
+"""
+
+import pytest
+
+from repro.eval import RobustnessEvaluator
+from repro.experiments import ClassifierPool, smoke_scale
+
+
+@pytest.fixture(scope="module")
+def cnn_pool():
+    config = smoke_scale("digits", epochs=3, warmup_epochs=1).with_overrides(
+        model="small_cnn"
+    )
+    return ClassifierPool(config)
+
+
+class TestCnnPipeline:
+    def test_trains_proposed_defense(self, cnn_pool):
+        defense = cnn_pool.get("proposed")
+        assert defense.time_per_epoch > 0
+
+    def test_evaluates_paper_suite(self, cnn_pool):
+        defense = cnn_pool.get("proposed")
+        suite = RobustnessEvaluator.paper_suite(cnn_pool.epsilon)
+        results = suite.evaluate(
+            defense.model, cnn_pool.test_x, cnn_pool.test_y
+        )
+        assert set(results) == {"original", "fgsm", "bim10", "bim30"}
+
+    def test_cnn_costs_more_than_mlp(self, cnn_pool):
+        mlp_pool = ClassifierPool(
+            smoke_scale("digits", epochs=3, warmup_epochs=1)
+        )
+        cnn_time = cnn_pool.get("vanilla").time_per_epoch
+        mlp_time = mlp_pool.get("vanilla").time_per_epoch
+        assert cnn_time > mlp_time

@@ -1,0 +1,56 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, paper_scale, smoke_scale
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        ExperimentConfig()
+
+    def test_bad_split(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(train_per_class=0)
+
+    def test_bad_epochs(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(epochs=0)
+
+    def test_warmup_below_epochs(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(epochs=5, warmup_epochs=5)
+
+
+class TestEpsilon:
+    def test_dataset_default(self):
+        assert ExperimentConfig(dataset="digits").resolved_epsilon == 0.25
+        assert ExperimentConfig(dataset="fashion").resolved_epsilon == 0.15
+
+    def test_explicit_override(self):
+        assert ExperimentConfig(epsilon=0.1).resolved_epsilon == 0.1
+
+
+class TestPresets:
+    def test_smoke_is_small(self):
+        cfg = smoke_scale()
+        assert cfg.train_per_class <= 50
+        assert cfg.epochs <= 10
+
+    def test_paper_is_larger(self):
+        assert paper_scale().epochs > smoke_scale().epochs
+
+    def test_overrides(self):
+        cfg = smoke_scale(epochs=7)
+        assert cfg.epochs == 7
+
+    def test_with_overrides_copy(self):
+        cfg = smoke_scale()
+        other = cfg.with_overrides(seed=9)
+        assert other.seed == 9
+        assert cfg.seed == 0
+        assert other.dataset == cfg.dataset
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            smoke_scale().epochs = 3

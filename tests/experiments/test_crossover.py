@@ -1,0 +1,72 @@
+"""Tests for the budget-crossover study."""
+
+import math
+
+import pytest
+
+from repro.experiments import smoke_scale
+from repro.experiments.crossover import (
+    CrossoverResult,
+    run_crossover_study,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_crossover_study(
+        smoke_scale("digits"),
+        epsilons=(0.1, 0.2),
+        methods=("vanilla", "fgsm_adv"),
+        attack_steps=3,
+    )
+
+
+class TestRunner:
+    def test_grid_shape(self, result):
+        assert result.epsilons == [0.1, 0.2]
+        assert set(result.accuracy) == {"vanilla", "fgsm_adv"}
+        for values in result.accuracy.values():
+            assert len(values) == 2
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Crossover study" in text
+        assert "0.1" in text
+
+    def test_save(self, result, tmp_path):
+        from repro.utils import load_json
+
+        path = str(tmp_path / "crossover.json")
+        result.save(path)
+        assert load_json(path)["epsilons"] == [0.1, 0.2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_crossover_study(smoke_scale("digits"), epsilons=())
+        with pytest.raises(ValueError):
+            run_crossover_study(smoke_scale("digits"), epsilons=(0.0,))
+
+
+class TestCrossoverMath:
+    def _fake(self):
+        result = CrossoverResult(dataset="digits")
+        result.epsilons = [0.1, 0.2, 0.3]
+        result.accuracy = {
+            "a": [0.9, 0.6, 0.3],
+            "b": [0.8, 0.7, 0.5],
+        }
+        return result
+
+    def test_gap(self):
+        result = self._fake()
+        assert result.gap("a", "b") == pytest.approx([0.1, -0.1, -0.2])
+
+    def test_crossover_found(self):
+        assert self._fake().crossover_epsilon("a", "b") == pytest.approx(0.2)
+
+    def test_crossover_never(self):
+        result = CrossoverResult(dataset="digits")
+        result.epsilons = [0.1, 0.2]
+        result.accuracy = {"a": [0.9, 0.8], "b": [0.5, 0.4]}
+        assert math.isnan(result.crossover_epsilon("a", "b"))

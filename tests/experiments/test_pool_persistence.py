@@ -1,0 +1,52 @@
+"""Tests for ClassifierPool save/load."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ClassifierPool, smoke_scale
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return ClassifierPool(smoke_scale("digits"))
+
+
+class TestPersistence:
+    def test_roundtrip_weights(self, pool, tmp_path):
+        defense = pool.get("vanilla")
+        pool.save(str(tmp_path))
+
+        fresh = ClassifierPool(smoke_scale("digits"))
+        restored = fresh.load(str(tmp_path))
+        assert restored >= 1
+        loaded = fresh.get("vanilla")  # must come from cache, not training
+        for (n1, p1), (n2, p2) in zip(
+            defense.model.named_parameters(),
+            loaded.model.named_parameters(),
+        ):
+            assert n1 == n2
+            assert np.array_equal(p1.data, p2.data)
+
+    def test_roundtrip_history(self, pool, tmp_path):
+        defense = pool.get("vanilla")
+        pool.save(str(tmp_path))
+        fresh = ClassifierPool(smoke_scale("digits"))
+        fresh.load(str(tmp_path))
+        loaded = fresh.get("vanilla")
+        assert loaded.history.epoch_seconds == pytest.approx(
+            defense.history.epoch_seconds
+        )
+
+    def test_load_missing_directory(self, pool, tmp_path):
+        assert pool.load(str(tmp_path / "nothing_here")) == 0
+
+    def test_loaded_model_predicts_identically(self, pool, tmp_path):
+        defense = pool.get("vanilla")
+        pool.save(str(tmp_path))
+        fresh = ClassifierPool(smoke_scale("digits"))
+        fresh.load(str(tmp_path))
+        loaded = fresh.get("vanilla")
+        x = pool.test_x[:16]
+        assert np.array_equal(
+            defense.model.predict(x), loaded.model.predict(x)
+        )

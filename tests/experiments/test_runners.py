@@ -1,0 +1,134 @@
+"""Integration tests for the experiment runners (smoke scale).
+
+These run the real Figure 1 / Figure 2 / Table I pipelines end-to-end on a
+tiny configuration — training included — so they are the slowest tests in
+the suite, but they guard the paper-artefact code paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ClassifierPool,
+    FIGURE1_CLASSIFIERS,
+    TABLE1_METHODS,
+    run_figure1,
+    run_figure2,
+    run_reset_interval_ablation,
+    run_step_size_ablation,
+    run_table1,
+    smoke_scale,
+)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One shared pool: each defense trains once for all runner tests."""
+    return ClassifierPool(smoke_scale("digits"))
+
+
+@pytest.fixture(scope="module")
+def config(pool):
+    return pool.config
+
+
+class TestClassifierPool:
+    def test_caches_trained_models(self, pool):
+        a = pool.get("vanilla")
+        b = pool.get("vanilla")
+        assert a is b
+
+    def test_overrides_bypass_cache(self, pool):
+        base = pool.get("proposed")
+        variant = pool.get("proposed", reset_interval=1)
+        assert variant is not base
+        assert pool.get("proposed") is base
+
+    def test_epsilon_resolution(self, pool):
+        assert pool.epsilon == 0.25
+
+    def test_history_records_timing(self, pool):
+        defense = pool.get("vanilla")
+        assert defense.time_per_epoch > 0.0
+
+
+class TestFigure1Runner:
+    def test_curves_for_all_classifiers(self, config, pool):
+        result = run_figure1(config, pool=pool, iteration_counts=(1, 2))
+        assert set(result.curves) == set(FIGURE1_CLASSIFIERS)
+        for curve in result.curves.values():
+            assert len(curve) == 2
+            assert all(0.0 <= v <= 1.0 for v in curve)
+
+    def test_render_and_save(self, config, pool, tmp_path):
+        result = run_figure1(config, pool=pool, iteration_counts=(1,))
+        text = result.render()
+        assert "Figure 1" in text
+        path = str(tmp_path / "fig1.json")
+        result.save(path)
+        from repro.utils import load_json
+
+        loaded = load_json(path)
+        assert loaded["dataset"] == "digits"
+
+
+class TestFigure2Runner:
+    def test_curve_lengths(self, config, pool):
+        result = run_figure2(config, pool=pool, num_steps=3)
+        for curve in result.curves.values():
+            assert len(curve) == 3
+
+    def test_render(self, config, pool):
+        result = run_figure2(config, pool=pool, num_steps=2)
+        assert "Figure 2" in result.render()
+
+
+class TestTable1Runner:
+    def test_grid_complete(self, config, pool):
+        result = run_table1(config, pool=pool)
+        assert set(result.accuracy) == set(TABLE1_METHODS)
+        for row in result.accuracy.values():
+            assert set(row) == {"original", "fgsm", "bim10", "bim30"}
+        assert set(result.time_per_epoch) == set(TABLE1_METHODS)
+
+    def test_timing_ordering_iter_vs_single(self, config, pool):
+        """Even at smoke scale, BIM(30)-Adv must cost more per epoch than
+        the single-step methods — the paper's structural claim."""
+        result = run_table1(config, pool=pool)
+        assert (
+            result.time_per_epoch["bim30_adv"]
+            > result.time_per_epoch["proposed"]
+        )
+        assert (
+            result.time_per_epoch["bim30_adv"]
+            > result.time_per_epoch["bim10_adv"]
+        )
+
+    def test_improvement_and_speedup_helpers(self, config, pool):
+        result = run_table1(config, pool=pool)
+        gain = result.improvement_over("proposed", "atda", "bim10")
+        assert -1.0 <= gain <= 1.0
+        speedup = result.speedup_over("proposed", "bim30_adv")
+        assert speedup > 0.0
+
+    def test_render_contains_methods(self, config, pool):
+        text = run_table1(config, pool=pool).render()
+        for name in TABLE1_METHODS:
+            assert name in text
+
+
+class TestAblationRunners:
+    def test_step_size_sweep(self, config, pool):
+        result = run_step_size_ablation(
+            config, pool=pool, step_fractions=(0.5, 1.0)
+        )
+        assert result.values == [0.5, 1.0]
+        assert len(result.accuracy) == 2
+        assert "step_size" in result.render()
+
+    def test_reset_interval_sweep(self, config, pool):
+        result = run_reset_interval_ablation(
+            config, pool=pool, reset_intervals=(1, 0)
+        )
+        assert result.values == [1.0, 0.0]
+        assert all("bim10" in acc for acc in result.accuracy)

@@ -1,0 +1,72 @@
+"""Tests for the multi-seed variance study."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    VarianceResult,
+    run_variance_study,
+    smoke_scale,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_variance_study(
+        smoke_scale("digits"),
+        seeds=(0, 1),
+        methods=("vanilla", "fgsm_adv"),
+    )
+
+
+class TestRunVarianceStudy:
+    def test_all_methods_and_seeds_recorded(self, result):
+        assert set(result.runs) == {"vanilla", "fgsm_adv"}
+        for method_runs in result.runs.values():
+            for column_values in method_runs.values():
+                assert len(column_values) == 2
+
+    def test_mean_std_consistent(self, result):
+        values = result.runs["vanilla"]["original"]
+        assert result.mean("vanilla", "original") == pytest.approx(
+            np.mean(values)
+        )
+        assert result.std("vanilla", "original") == pytest.approx(
+            np.std(values)
+        )
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Variance study" in text
+        assert "vanilla" in text
+        assert "±" in text
+
+    def test_save(self, result, tmp_path):
+        from repro.utils import load_json
+
+        path = str(tmp_path / "variance.json")
+        result.save(path)
+        payload = load_json(path)
+        assert payload["seeds"] == [0, 1]
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_variance_study(smoke_scale("digits"), seeds=())
+
+
+class TestGapSignificance:
+    def test_significant_gap(self):
+        result = VarianceResult(dataset="digits", epsilon=0.25)
+        result.runs = {
+            "a": {"bim10": [0.8, 0.82, 0.81]},
+            "b": {"bim10": [0.5, 0.52, 0.51]},
+        }
+        assert result.gap_significant("a", "b", "bim10")
+
+    def test_insignificant_gap(self):
+        result = VarianceResult(dataset="digits", epsilon=0.25)
+        result.runs = {
+            "a": {"bim10": [0.60, 0.50, 0.70]},
+            "b": {"bim10": [0.58, 0.48, 0.68]},
+        }
+        assert not result.gap_significant("a", "b", "bim10")

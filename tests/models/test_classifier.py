@@ -1,0 +1,67 @@
+"""Tests for the FeatureClassifier wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.models import FeatureClassifier, mnist_mlp
+from repro.nn import Dense, Flatten, ReLU, Sequential
+
+
+def make_classifier():
+    features = Sequential(Flatten(), Dense(16, 8, rng=0), ReLU())
+    head = Dense(8, 3, rng=1)
+    return FeatureClassifier(features, head, num_classes=3)
+
+
+def batch(n=5):
+    return np.random.default_rng(0).normal(size=(n, 1, 4, 4))
+
+
+class TestForward:
+    def test_logits_shape(self):
+        assert make_classifier()(Tensor(batch())).shape == (5, 3)
+
+    def test_forward_is_head_of_embed(self):
+        model = make_classifier()
+        x = Tensor(batch())
+        direct = model(x).data
+        composed = model.head(model.embed(x)).data
+        assert np.allclose(direct, composed)
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(ValueError):
+            FeatureClassifier(Sequential(), Dense(4, 1, rng=0), num_classes=1)
+
+
+class TestPredict:
+    def test_predict_matches_argmax(self):
+        model = make_classifier()
+        x = batch()
+        logits = model(Tensor(x)).data
+        assert np.array_equal(model.predict(x), logits.argmax(axis=1))
+
+    def test_predict_builds_no_graph(self):
+        model = make_classifier()
+        model.predict(batch())
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_predict_proba_rows_sum_to_one(self):
+        probs = make_classifier().predict_proba(batch())
+        assert probs.shape == (5, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_predict_proba_stable_with_large_logits(self):
+        model = make_classifier()
+        model.head.weight.data *= 1e3
+        probs = model.predict_proba(batch())
+        assert np.isfinite(probs).all()
+
+
+class TestTrainedAccuracy:
+    def test_trained_model_accurate_on_clean_data(self, trained_mlp, digits_small):
+        _train, test = digits_small
+        x, y = test.arrays()
+        accuracy = (trained_mlp.predict(x) == y).mean()
+        assert accuracy > 0.85

@@ -1,0 +1,74 @@
+"""Tests for LayerNorm."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import LayerNorm
+
+
+def randn(*shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(3.0, 2.0, size=shape))
+
+
+class TestLayerNorm:
+    def test_normalises_per_example(self):
+        ln = LayerNorm(8)
+        out = ln(randn(4, 8)).data
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=1), 1.0, atol=1e-2)
+
+    def test_int_shape_promoted(self):
+        assert LayerNorm(5).normalized_shape == (5,)
+
+    def test_multi_dim_suffix(self):
+        ln = LayerNorm((4, 4))
+        out = ln(randn(2, 4, 4)).data
+        assert np.allclose(out.reshape(2, -1).mean(axis=1), 0.0, atol=1e-6)
+
+    def test_affine(self):
+        ln = LayerNorm(4)
+        ln.gamma.data = np.full(4, 2.0)
+        ln.beta.data = np.full(4, 1.0)
+        out = ln(randn(8, 4)).data
+        assert np.allclose(out.mean(axis=1), 1.0, atol=1e-6)
+
+    def test_no_affine_has_no_params(self):
+        ln = LayerNorm(4, affine=False)
+        assert len(list(ln.parameters())) == 0
+        ln(randn(2, 4))
+
+    def test_train_eval_identical(self):
+        """LayerNorm has no batch statistics: train == eval output."""
+        ln = LayerNorm(6)
+        x = randn(4, 6)
+        ln.train()
+        out_train = ln(x).data
+        ln.eval()
+        out_eval = ln(x).data
+        assert np.array_equal(out_train, out_eval)
+
+    def test_batch_size_invariance(self):
+        """Each example is normalised independently of its batch."""
+        ln = LayerNorm(6)
+        x = randn(4, 6)
+        full = ln(x).data
+        single = ln(Tensor(x.data[:1])).data
+        assert np.allclose(full[0], single[0])
+
+    def test_wrong_suffix_raises(self):
+        with pytest.raises(ValueError, match="trailing shape"):
+            LayerNorm(5)(randn(2, 4))
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+    def test_gradients_flow(self):
+        ln = LayerNorm(4)
+        x = Tensor(
+            np.random.default_rng(0).normal(size=(3, 4)), requires_grad=True
+        )
+        ln(x).sum().backward()
+        assert x.grad is not None
+        assert ln.gamma.grad is not None

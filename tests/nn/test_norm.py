@@ -1,0 +1,89 @@
+"""Tests for batch normalization layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import BatchNorm1d, BatchNorm2d
+
+
+def randn(*shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(2.0, 3.0, size=shape))
+
+
+class TestBatchNorm1d:
+    def test_normalises_in_train(self):
+        bn = BatchNorm1d(4)
+        out = bn(randn(64, 4)).data
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_affine_applied(self):
+        bn = BatchNorm1d(2)
+        bn.gamma.data = np.array([2.0, 2.0])
+        bn.beta.data = np.array([1.0, 1.0])
+        out = bn(randn(64, 2)).data
+        assert np.allclose(out.mean(axis=0), 1.0, atol=1e-6)
+
+    def test_running_stats_update(self):
+        bn = BatchNorm1d(3, momentum=0.5)
+        x = randn(32, 3)
+        bn(x)
+        assert not np.allclose(bn.running_mean, 0.0)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm1d(3, momentum=1.0)  # adopt batch stats fully
+        x = randn(128, 3)
+        bn(x)
+        bn.eval()
+        out = bn(x).data
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-1)
+
+    def test_eval_deterministic(self):
+        bn = BatchNorm1d(3)
+        bn(randn(16, 3))
+        bn.eval()
+        x = randn(4, 3, seed=1)
+        assert np.array_equal(bn(x).data, bn(x).data)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(3)(randn(2, 4))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(0)
+        with pytest.raises(ValueError):
+            BatchNorm1d(3, momentum=0.0)
+
+    def test_no_affine(self):
+        bn = BatchNorm1d(3, affine=False)
+        assert bn.gamma is None
+        assert len(list(bn.parameters())) == 0
+        bn(randn(8, 3))
+
+    def test_gradients_flow(self):
+        bn = BatchNorm1d(3)
+        x = Tensor(
+            np.random.default_rng(0).normal(size=(8, 3)), requires_grad=True
+        )
+        bn(x).sum().backward()
+        assert x.grad is not None
+        assert bn.gamma.grad is not None
+
+
+class TestBatchNorm2d:
+    def test_per_channel_normalisation(self):
+        bn = BatchNorm2d(3)
+        out = bn(randn(16, 3, 5, 5)).data
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+
+    def test_wrong_channels_raises(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3)(randn(2, 4, 5, 5))
+
+    def test_running_buffers_in_state_dict(self):
+        bn = BatchNorm2d(2)
+        state = bn.state_dict()
+        assert "running_mean" in state
+        assert "running_var" in state

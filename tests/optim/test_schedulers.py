@@ -1,0 +1,99 @@
+"""Tests for learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import (
+    Adam,
+    CosineAnnealingLR,
+    ExponentialLR,
+    SGD,
+    StepLR,
+    WarmupLR,
+)
+
+
+def make_opt(lr=1.0):
+    return SGD([Parameter(np.array([1.0]))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_every_step_size(self):
+        # step() is called at the END of each epoch, so the returned value
+        # is the LR for the next epoch: epochs 0-1 run at 1.0, 2-3 at 0.1.
+        opt = make_opt(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+
+    def test_mutates_optimizer(self):
+        opt = make_opt(1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.lr == 0.5
+
+
+class TestExponentialLR:
+    def test_geometric_decay(self):
+        sched = ExponentialLR(make_opt(1.0), gamma=0.5)
+        assert np.isclose(sched.step(), 0.5)
+        assert np.isclose(sched.step(), 0.25)
+
+
+class TestCosineAnnealingLR:
+    def test_endpoints(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, total_epochs=10, min_lr=0.1)
+        values = [sched.step() for _ in range(10)]
+        assert values[-1] == pytest.approx(0.1)
+        assert values[0] < 1.0
+
+    def test_monotone_decreasing(self):
+        sched = CosineAnnealingLR(make_opt(1.0), total_epochs=10)
+        values = [sched.step() for _ in range(10)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_clamps_after_horizon(self):
+        sched = CosineAnnealingLR(make_opt(1.0), total_epochs=2, min_lr=0.2)
+        for _ in range(5):
+            lr = sched.step()
+        assert lr == pytest.approx(0.2)
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_opt(), total_epochs=0)
+
+
+class TestWarmupLR:
+    def test_linear_ramp(self):
+        sched = WarmupLR(make_opt(1.0), warmup_epochs=4)
+        lrs = [sched.step() for _ in range(4)]
+        assert np.allclose(lrs, [0.25, 0.5, 0.75, 1.0])
+
+    def test_flat_after_warmup_without_inner(self):
+        sched = WarmupLR(make_opt(1.0), warmup_epochs=2)
+        [sched.step() for _ in range(2)]
+        assert sched.step() == 1.0
+
+    def test_delegates_to_inner(self):
+        opt = make_opt(1.0)
+        inner = ExponentialLR(opt, gamma=0.5)
+        sched = WarmupLR(opt, warmup_epochs=1, after=inner)
+        sched.step()  # warmup complete
+        assert np.isclose(sched.step(), 0.5)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            WarmupLR(make_opt(), warmup_epochs=0)
+
+
+def test_scheduler_works_with_adam():
+    opt = Adam([Parameter(np.array([1.0]))], lr=0.1)
+    sched = StepLR(opt, step_size=1, gamma=0.1)
+    sched.step()
+    assert np.isclose(opt.lr, 0.01)

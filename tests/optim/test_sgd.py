@@ -1,0 +1,97 @@
+"""Tests for SGD and the optimizer base class."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Parameter
+from repro.optim import SGD
+
+
+def quad_param(value=5.0):
+    return Parameter(np.array([value]))
+
+
+def quad_step(param, optimizer):
+    """One gradient step on f(p) = p^2 (gradient 2p)."""
+    optimizer.zero_grad()
+    (param * param).sum().backward()
+    optimizer.step()
+
+
+class TestValidation:
+    def test_negative_lr(self):
+        with pytest.raises(ValueError, match="learning rate"):
+            SGD([quad_param()], lr=-1.0)
+
+    def test_empty_params(self):
+        with pytest.raises(ValueError, match="empty"):
+            SGD([], lr=0.1)
+
+    def test_negative_momentum(self):
+        with pytest.raises(ValueError, match="momentum"):
+            SGD([quad_param()], lr=0.1, momentum=-0.5)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError, match="nesterov"):
+            SGD([quad_param()], lr=0.1, nesterov=True)
+
+    def test_negative_weight_decay(self):
+        with pytest.raises(ValueError, match="weight_decay"):
+            SGD([quad_param()], lr=0.1, weight_decay=-0.1)
+
+
+class TestUpdates:
+    def test_plain_update_math(self):
+        p = quad_param(5.0)
+        opt = SGD([p], lr=0.1)
+        quad_step(p, opt)  # p <- 5 - 0.1 * 10 = 4
+        assert np.isclose(p.data[0], 4.0)
+
+    def test_skips_params_without_grad(self):
+        p, q = quad_param(1.0), quad_param(1.0)
+        opt = SGD([p, q], lr=0.1)
+        opt.zero_grad()
+        (p * p).sum().backward()  # q gets no grad
+        opt.step()
+        assert np.isclose(q.data[0], 1.0)
+
+    def test_momentum_accelerates(self):
+        p_plain, p_mom = quad_param(5.0), quad_param(5.0)
+        opt_plain = SGD([p_plain], lr=0.01)
+        opt_mom = SGD([p_mom], lr=0.01, momentum=0.9)
+        for _ in range(10):
+            quad_step(p_plain, opt_plain)
+            quad_step(p_mom, opt_mom)
+        assert abs(p_mom.data[0]) < abs(p_plain.data[0])
+
+    def test_weight_decay_shrinks_weights(self):
+        p = quad_param(1.0)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero task gradient
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_nesterov_differs_from_heavy_ball(self):
+        p1, p2 = quad_param(5.0), quad_param(5.0)
+        o1 = SGD([p1], lr=0.01, momentum=0.9)
+        o2 = SGD([p2], lr=0.01, momentum=0.9, nesterov=True)
+        for _ in range(3):
+            quad_step(p1, o1)
+            quad_step(p2, o2)
+        assert p1.data[0] != p2.data[0]
+
+    def test_converges_on_quadratic(self):
+        p = quad_param(5.0)
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(100):
+            quad_step(p, opt)
+        assert abs(p.data[0]) < 1e-3
+
+    def test_zero_grad_clears(self):
+        p = quad_param()
+        opt = SGD([p], lr=0.1)
+        (p * p).sum().backward()
+        opt.zero_grad()
+        assert p.grad is None

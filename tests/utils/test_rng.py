@@ -1,0 +1,44 @@
+"""Tests for RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import ensure_rng, make_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_to_generator(self):
+        assert isinstance(ensure_rng(42), np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_deterministic(self):
+        c1 = spawn_rngs(3, 2)
+        c2 = spawn_rngs(3, 2)
+        assert c1[0].random() == c2[0].random()
+        assert c1[1].random() == c2[1].random()
+
+    def test_spawning_advances_parent_consistently(self):
+        parent1 = make_rng(1)
+        parent2 = make_rng(1)
+        spawn_rngs(parent1, 3)
+        spawn_rngs(parent2, 3)
+        assert parent1.random() == parent2.random()

@@ -1,0 +1,60 @@
+"""Tests for serialization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.models import mnist_mlp
+from repro.utils import (
+    load_json,
+    load_state_dict,
+    save_json,
+    save_state_dict,
+    to_jsonable,
+)
+
+
+class TestStateDictIO:
+    def test_roundtrip(self, tmp_path):
+        state = {"a": np.arange(4.0), "b.c": np.ones((2, 2))}
+        path = str(tmp_path / "model.npz")
+        save_state_dict(path, state)
+        loaded = load_state_dict(path)
+        assert set(loaded) == {"a", "b.c"}
+        assert np.array_equal(loaded["a"], state["a"])
+
+    def test_extension_added_on_load(self, tmp_path):
+        path = str(tmp_path / "model")
+        save_state_dict(path + ".npz", {"x": np.zeros(2)})
+        assert "x" in load_state_dict(path)
+
+    def test_model_roundtrip(self, tmp_path):
+        model1 = mnist_mlp(seed=1)
+        path = str(tmp_path / "mlp.npz")
+        save_state_dict(path, model1.state_dict())
+        model2 = mnist_mlp(seed=2)
+        model2.load_state_dict(load_state_dict(path))
+        for (n1, p1), (n2, p2) in zip(
+            model1.named_parameters(), model2.named_parameters()
+        ):
+            assert n1 == n2
+            assert np.array_equal(p1.data, p2.data)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "m.npz")
+        save_state_dict(path, {"x": np.zeros(1)})
+        assert "x" in load_state_dict(path)
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        payload = {"accuracy": np.float64(0.93), "curve": np.arange(3.0)}
+        path = str(tmp_path / "out.json")
+        save_json(path, payload)
+        loaded = load_json(path)
+        assert loaded["accuracy"] == pytest.approx(0.93)
+        assert loaded["curve"] == [0.0, 1.0, 2.0]
+
+    def test_to_jsonable_nested(self):
+        data = {"a": [np.int64(1), {"b": np.zeros(2)}], "c": (np.float32(0.5),)}
+        out = to_jsonable(data)
+        assert out == {"a": [1, {"b": [0.0, 0.0]}], "c": [0.5]}

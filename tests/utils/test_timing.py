@@ -1,0 +1,49 @@
+"""Tests for timing utilities."""
+
+import time
+
+import pytest
+
+from repro.utils import EpochTimer, Timer
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.01
+
+    def test_start_stop(self):
+        t = Timer()
+        t.start()
+        time.sleep(0.005)
+        elapsed = t.stop()
+        assert elapsed >= 0.005
+        assert t.elapsed == elapsed
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+
+class TestEpochTimer:
+    def test_records_durations(self):
+        timer = EpochTimer()
+        for _ in range(3):
+            timer.begin_epoch()
+            time.sleep(0.003)
+            timer.end_epoch()
+        assert len(timer.durations) == 3
+        assert all(d >= 0.003 for d in timer.durations)
+
+    def test_mean_and_total(self):
+        timer = EpochTimer(durations=[1.0, 2.0, 3.0])
+        assert timer.total == 6.0
+        assert timer.mean_per_epoch == 2.0
+
+    def test_empty_mean_is_zero(self):
+        assert EpochTimer().mean_per_epoch == 0.0
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(RuntimeError):
+            EpochTimer().end_epoch()
