@@ -17,6 +17,7 @@ import numpy as np
 
 from ..autograd import Tensor
 from ..nn import Module, cross_entropy
+from ..runtime import ensure_float_array
 from ..utils.validation import check_image_batch
 
 __all__ = ["Attack", "project_linf", "clip_to_box"]
@@ -78,7 +79,9 @@ class Attack:
         normally put the model in eval mode first (attacks against dropout
         noise are not what the paper studies).
         """
-        x_tensor = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+        # No dtype cast: perturbation math runs in the input's own floating
+        # dtype (the policy decides it upstream, when the batch is created).
+        x_tensor = Tensor(ensure_float_array(x), requires_grad=True)
         logits = self.model(x_tensor)
         loss = self.loss_fn(logits, y)
         loss.backward()

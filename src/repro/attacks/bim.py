@@ -14,6 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..runtime import ensure_float_array
 from ..utils.validation import check_positive
 from .base import Attack, clip_to_box, project_linf
 
@@ -70,7 +71,7 @@ class BIM(Attack):
     def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Return adversarial examples for the batch ``(x, y)``."""
         self._validate(x, y)
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float_array(x)
         x_adv = x.copy()
         for _ in range(self.num_steps):
             x_adv = self.step(x_adv, x, y)
@@ -85,7 +86,7 @@ class BIM(Attack):
         ``result[-1]`` equals :meth:`generate`'s output.
         """
         self._validate(x, y)
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float_array(x)
         iterates: List[np.ndarray] = []
         x_adv = x.copy()
         for _ in range(self.num_steps):

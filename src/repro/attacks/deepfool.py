@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor
+from ..runtime import ensure_float_array
 from .base import Attack, clip_to_box
 
 __all__ = ["DeepFool"]
@@ -79,7 +80,7 @@ class DeepFool(Attack):
     def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Return minimally perturbed misclassified examples."""
         self._validate(x, y)
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float_array(x)
         y = np.asarray(y)
         x_adv = x.copy()
         active = np.ones(len(x), dtype=bool)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..runtime import ensure_float_array
 from ..utils.validation import check_positive
 from .base import Attack, clip_to_box
 
@@ -29,7 +30,7 @@ class FGSM(Attack):
     def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Return adversarial examples for the batch ``(x, y)``."""
         self._validate(x, y)
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float_array(x)
         grad = self.input_gradient(x, y)
         step = self.loss_direction() * self.epsilon * np.sign(grad)
         return clip_to_box(x + step, self.clip_min, self.clip_max)

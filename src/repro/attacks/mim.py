@@ -11,6 +11,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..runtime import ensure_float_array
 from .base import clip_to_box, project_linf
 from .bim import BIM
 
@@ -45,7 +46,7 @@ class MIM(BIM):
     def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Return adversarial examples for the batch ``(x, y)``."""
         self._validate(x, y)
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float_array(x)
         x_adv = x.copy()
         momentum = np.zeros_like(x)
         for _ in range(self.num_steps):

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..runtime import ensure_float_array
 from ..utils.rng import RngLike, ensure_rng
 from ..utils.validation import check_positive
 from .base import Attack, clip_to_box
@@ -30,6 +31,8 @@ class RandomNoise(Attack):
     def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Return adversarial examples for the batch ``(x, y)``."""
         self._validate(x, y)
-        x = np.asarray(x, dtype=np.float64)
-        noise = self._rng.uniform(-self.epsilon, self.epsilon, size=x.shape)
+        x = ensure_float_array(x)
+        noise = self._rng.uniform(
+            -self.epsilon, self.epsilon, size=x.shape
+        ).astype(x.dtype, copy=False)
         return clip_to_box(x + noise, self.clip_min, self.clip_max)

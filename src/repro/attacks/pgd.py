@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..runtime import ensure_float_array
 from ..utils.rng import RngLike, ensure_rng
 from .base import clip_to_box
 from .bim import BIM
@@ -48,11 +49,11 @@ class PGD(BIM):
     def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Return adversarial examples for the batch ``(x, y)``. Starts from a random point in the ball."""
         self._validate(x, y)
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float_array(x)
         if self.random_start:
             noise = self._rng.uniform(
                 -self.epsilon, self.epsilon, size=x.shape
-            )
+            ).astype(x.dtype, copy=False)
             x_adv = clip_to_box(x + noise, self.clip_min, self.clip_max)
         else:
             x_adv = x.copy()

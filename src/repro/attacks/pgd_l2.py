@@ -11,6 +11,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..runtime import ensure_float_array
 from ..utils.rng import RngLike, ensure_rng
 from ..utils.validation import check_positive
 from .base import Attack, clip_to_box
@@ -83,13 +84,19 @@ class PGDL2(Attack):
     def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Return adversarial examples for the batch ``(x, y)``."""
         self._validate(x, y)
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float_array(x)
         if self.random_start:
-            direction = self._rng.normal(size=x.shape)
+            direction = self._rng.normal(size=x.shape).astype(
+                x.dtype, copy=False
+            )
             direction = _normalize_l2(direction)
-            radii = self.epsilon * self._rng.uniform(
-                0, 1, size=(len(x),) + (1,) * (x.ndim - 1)
-            ) ** (1.0 / x[0].size)
+            radii = (
+                self.epsilon
+                * self._rng.uniform(
+                    0, 1, size=(len(x),) + (1,) * (x.ndim - 1)
+                )
+                ** (1.0 / x[0].size)
+            ).astype(x.dtype, copy=False)
             x_adv = clip_to_box(
                 x + direction * radii, self.clip_min, self.clip_max
             )

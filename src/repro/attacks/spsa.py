@@ -14,6 +14,7 @@ import numpy as np
 
 from ..autograd import Tensor, no_grad
 from ..nn import cross_entropy
+from ..runtime import ensure_float_array
 from ..utils.rng import RngLike, ensure_rng
 from ..utils.validation import check_positive
 from .base import Attack, clip_to_box, project_linf
@@ -81,7 +82,9 @@ class SPSA(Attack):
     ) -> np.ndarray:
         estimate = np.zeros_like(x)
         for _ in range(self.samples):
-            direction = self._rng.choice([-1.0, 1.0], size=x.shape)
+            direction = self._rng.choice([-1.0, 1.0], size=x.shape).astype(
+                x.dtype, copy=False
+            )
             plus = self._loss_values(x + self.delta * direction, y)
             minus = self._loss_values(x - self.delta * direction, y)
             diff = (plus - minus) / (2.0 * self.delta)
@@ -91,7 +94,7 @@ class SPSA(Attack):
     def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Return adversarial examples for the batch ``(x, y)``. Uses only forward passes."""
         self._validate(x, y)
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float_array(x)
         x_adv = x.copy()
         for _ in range(self.num_steps):
             grad = self._estimate_gradient(x_adv, y)

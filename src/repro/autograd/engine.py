@@ -30,6 +30,8 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from ..runtime import accum_dtype, compute_dtype
+
 __all__ = [
     "Tensor",
     "Function",
@@ -40,8 +42,6 @@ __all__ = [
 ]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
-
-_DEFAULT_DTYPE = np.float64
 
 
 class _GradMode(threading.local):
@@ -147,7 +147,8 @@ class Tensor:
     data:
         Anything convertible to a ``numpy.ndarray``.  Floating point data is
         kept at its own precision; integer input used in differentiable
-        contexts is promoted to the default float dtype by ``as_tensor``.
+        contexts is promoted by ``as_tensor`` to the compute dtype of the
+        active :mod:`repro.runtime` precision policy.
     requires_grad:
         When ``True``, operations involving this tensor are recorded and
         :meth:`backward` will populate :attr:`grad`.
@@ -266,9 +267,9 @@ class Tensor:
             if node_grad is None:
                 continue
             if node.requires_grad and node._ctx is None:
-                # Leaf: accumulate into .grad
+                # Leaf: accumulate into .grad in the policy's accum dtype.
                 if node.grad is None:
-                    node.grad = node_grad.copy()
+                    node.grad = node_grad.astype(accum_dtype(), copy=True)
                 else:
                     node.grad = node.grad + node_grad
                 continue
@@ -336,9 +337,13 @@ def _topological_order(root: Tensor) -> list:
 def as_tensor(value: ArrayLike, dtype=None) -> Tensor:
     """Coerce ``value`` to a :class:`Tensor`.
 
-    Existing tensors are returned as-is (unless a dtype cast is requested);
-    plain Python numbers and integer arrays are promoted to the default
-    floating dtype so they can take part in differentiable arithmetic.
+    Existing tensors are returned as-is (unless a dtype cast is requested).
+    Plain Python numbers and integer/bool arrays are promoted to the active
+    policy's compute dtype so they can take part in differentiable
+    arithmetic; floating arrays keep their own precision.  Converting
+    scalars to the compute dtype (rather than numpy's float64 default) is
+    what keeps expressions like ``x * 0.5`` from silently upcasting a
+    float32 graph.
     """
     if isinstance(value, Tensor):
         if dtype is not None and value.dtype != np.dtype(dtype):
@@ -348,5 +353,9 @@ def as_tensor(value: ArrayLike, dtype=None) -> Tensor:
     if dtype is not None:
         arr = arr.astype(dtype)
     elif not np.issubdtype(arr.dtype, np.floating):
-        arr = arr.astype(_DEFAULT_DTYPE)
+        arr = arr.astype(compute_dtype())
+    elif arr.ndim == 0 and isinstance(value, float):
+        # Python floats arrive as 0-d float64 arrays; treat them as "weak"
+        # scalars that adopt the policy dtype instead of forcing promotion.
+        arr = arr.astype(compute_dtype())
     return Tensor(arr)

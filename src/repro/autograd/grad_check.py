@@ -2,6 +2,15 @@
 
 Used heavily by the test-suite to validate every differentiable operation
 against central finite differences.
+
+Precision: central differences with ``eps ~ 1e-6`` are numerically
+meaningless below float64, so checking is **pinned** to the active
+policy's ``grad_check_dtype`` (float64 by default) regardless of the
+compute dtype in effect — a float32 session still grad-checks in float64.
+The pin is implemented by entering a nested :func:`repro.runtime.precision`
+region and casting every input up front, so all intermediate tensors,
+scalar promotions and gradient accumulations inside the check run at the
+checking precision.
 """
 
 from __future__ import annotations
@@ -10,9 +19,16 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..runtime import Policy, active_policy, precision
 from .engine import Tensor
 
 __all__ = ["numerical_gradient", "check_gradients"]
+
+
+def _check_policy() -> Policy:
+    """The pinned-precision policy used for the duration of a check."""
+    dtype = active_policy().grad_check_dtype
+    return Policy(compute_dtype=dtype, accum_dtype=dtype, grad_check_dtype=dtype)
 
 
 def numerical_gradient(
@@ -34,18 +50,20 @@ def numerical_gradient(
     eps:
         Finite-difference step.
     """
-    target = inputs[index]
-    grad = np.zeros_like(target.data, dtype=np.float64)
-    flat = target.data.reshape(-1)
-    grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        original = flat[i]
-        flat[i] = original + eps
-        plus = float(fn(*inputs).data.sum())
-        flat[i] = original - eps
-        minus = float(fn(*inputs).data.sum())
-        flat[i] = original
-        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    policy = _check_policy()
+    with precision(policy):
+        target = inputs[index]
+        grad = np.zeros_like(target.data, dtype=policy.compute_dtype)
+        flat = target.data.reshape(-1)
+        grad_flat = grad.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = float(fn(*inputs).data.sum())
+            flat[i] = original - eps
+            minus = float(fn(*inputs).data.sum())
+            flat[i] = original
+            grad_flat[i] = (plus - minus) / (2.0 * eps)
     return grad
 
 
@@ -60,21 +78,31 @@ def check_gradients(
 
     Raises ``AssertionError`` with a diagnostic message on mismatch.
     """
-    inputs = [
-        t if isinstance(t, Tensor) else Tensor(np.asarray(t, dtype=np.float64))
-        for t in inputs
-    ]
-    for t in inputs:
-        t.requires_grad = True
-        t.zero_grad()
-    out = fn(*inputs)
-    out.sum().backward()
-    for i, t in enumerate(inputs):
-        expected = numerical_gradient(fn, inputs, i, eps=eps)
-        actual = t.grad if t.grad is not None else np.zeros_like(t.data)
-        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
-            worst = np.max(np.abs(actual - expected))
-            raise AssertionError(
-                f"gradient mismatch for input {i}: max abs error {worst:.3e}\n"
-                f"analytic:\n{actual}\nnumeric:\n{expected}"
-            )
+    policy = _check_policy()
+    with precision(policy):
+        inputs = [
+            t if isinstance(t, Tensor) else Tensor(np.asarray(t))
+            for t in inputs
+        ]
+        # Cast up-front so perturbing single elements (numerical_gradient
+        # writes through .reshape(-1)) happens at checking precision.
+        inputs = [
+            t if t.dtype == policy.compute_dtype
+            else Tensor(t.data.astype(policy.compute_dtype))
+            for t in inputs
+        ]
+        for t in inputs:
+            t.requires_grad = True
+            t.zero_grad()
+        out = fn(*inputs)
+        out.sum().backward()
+        for i, t in enumerate(inputs):
+            expected = numerical_gradient(fn, inputs, i, eps=eps)
+            actual = t.grad if t.grad is not None else np.zeros_like(t.data)
+            if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+                worst = np.max(np.abs(actual - expected))
+                raise AssertionError(
+                    f"gradient mismatch for input {i}: "
+                    f"max abs error {worst:.3e}\n"
+                    f"analytic:\n{actual}\nnumeric:\n{expected}"
+                )

@@ -340,7 +340,9 @@ def minimum(a, b):
 def where(condition, a, b):
     """Elementwise select: ``a`` where condition else ``b``."""
     cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
-    return Where.apply(Tensor(cond.astype(np.float64)), as_tensor(a), as_tensor(b))
+    # The condition is a non-differentiable mask; keep it boolean so the
+    # backward multiply never promotes the value operands' dtype.
+    return Where.apply(Tensor(cond.astype(bool)), as_tensor(a), as_tensor(b))
 
 
 # ----------------------------------------------------------------------

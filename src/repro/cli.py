@@ -17,6 +17,8 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+import contextlib
+
 from .experiments import (
     paper_scale,
     run_figure1,
@@ -26,18 +28,24 @@ from .experiments import (
     run_table1,
     smoke_scale,
 )
+from .runtime import precision
 
 __all__ = ["main", "build_parser"]
 
 
 def _config_for(args) -> "ExperimentConfig":
+    dtype = getattr(args, "dtype", "") or None
     if args.scale == "paper":
-        return paper_scale(args.dataset)
+        return paper_scale(args.dataset, dtype=dtype)
     if args.scale == "medium":
         return paper_scale(
-            args.dataset, train_per_class=150, test_per_class=40, epochs=60
+            args.dataset,
+            train_per_class=150,
+            test_per_class=40,
+            epochs=60,
+            dtype=dtype,
         )
-    return smoke_scale(args.dataset)
+    return smoke_scale(args.dataset, dtype=dtype)
 
 
 def _cmd_table1(args) -> int:
@@ -132,6 +140,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--save", default="", help="JSON output path")
         p.add_argument("--verbose", action="store_true")
+        p.add_argument(
+            "--dtype",
+            choices=("float32", "float64"),
+            default="",
+            help="floating precision for the whole run "
+            "(default: the ambient runtime policy, float64)",
+        )
 
     p_table = sub.add_parser("table1", help="regenerate Table I")
     add_common(p_table)
@@ -170,7 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    dtype = getattr(args, "dtype", "")
+    # Activate the requested precision for the whole dispatch so code paths
+    # outside ClassifierPool (evaluation, audits) also run in that dtype.
+    scope = precision(dtype) if dtype else contextlib.nullcontext()
+    with scope:
+        return args.func(args)
 
 
 if __name__ == "__main__":

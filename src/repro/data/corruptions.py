@@ -14,6 +14,7 @@ from typing import Callable, Dict, Sequence
 import numpy as np
 from scipy import ndimage
 
+from ..runtime import ensure_float_array
 from ..utils.rng import RngLike, ensure_rng
 
 __all__ = [
@@ -132,7 +133,7 @@ def corrupt(
         raise KeyError(
             f"unknown corruption {name!r}; choose from {sorted(CORRUPTIONS)}"
         )
-    return CORRUPTIONS[name](np.asarray(x, dtype=np.float64), severity, rng)
+    return CORRUPTIONS[name](ensure_float_array(x), severity, rng)
 
 
 def corruption_sweep(

@@ -15,6 +15,7 @@ from typing import Iterator, NamedTuple
 
 import numpy as np
 
+from ..runtime import compute_dtype
 from ..utils.rng import RngLike, ensure_rng
 from .dataset import Dataset
 
@@ -64,8 +65,12 @@ class DataLoader:
         self.drop_last = drop_last
         self._rng = ensure_rng(rng)
         # Materialise once: synthetic datasets are in-memory anyway and this
-        # keeps batch slicing cheap.
+        # keeps batch slicing cheap.  The one-time cast here (a no-op when
+        # the dataset already matches the policy) means batches are emitted
+        # in the compute dtype with no per-batch recast downstream.
         self._examples, self._labels = dataset.arrays()
+        if self._examples.dtype != compute_dtype():
+            self._examples = self._examples.astype(compute_dtype())
 
     def __len__(self) -> int:
         n = len(self.dataset)

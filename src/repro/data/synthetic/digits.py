@@ -16,6 +16,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ...runtime import compute_dtype
 from ...utils.rng import RngLike, ensure_rng, spawn_rngs
 from ..dataset import TensorDataset
 from .render import (
@@ -190,8 +191,10 @@ def generate_digits(
         )
     generator = ensure_rng(rng)
     class_rngs = spawn_rngs(generator, 10)
+    # Rendering happens in float64 (see render.py); the emitted set is in
+    # the policy compute dtype, cast once here rather than per batch.
     examples = np.empty(
-        (10 * num_per_class, 1, size, size), dtype=np.float64
+        (10 * num_per_class, 1, size, size), dtype=compute_dtype()
     )
     labels = np.empty(10 * num_per_class, dtype=np.int64)
     cursor = 0

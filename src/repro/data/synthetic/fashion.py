@@ -13,6 +13,7 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
+from ...runtime import compute_dtype
 from ...utils.rng import RngLike, ensure_rng, spawn_rngs
 from ..dataset import TensorDataset
 from .render import pixel_grid
@@ -236,7 +237,9 @@ def generate_fashion(
         )
     generator = ensure_rng(rng)
     class_rngs = spawn_rngs(generator, 10)
-    examples = np.empty((10 * num_per_class, 1, size, size), dtype=np.float64)
+    examples = np.empty(
+        (10 * num_per_class, 1, size, size), dtype=compute_dtype()
+    )
     labels = np.empty(10 * num_per_class, dtype=np.int64)
     cursor = 0
     for label in range(10):

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, as_tensor, relu
+from ..runtime import compute_dtype, ensure_float_array
 from ..utils.validation import check_positive
 
 __all__ = [
@@ -84,7 +85,7 @@ class ClassCenters:
         self.num_classes = num_classes
         self.dim = dim
         self.momentum = momentum
-        self.centers = np.zeros((num_classes, dim), dtype=np.float64)
+        self.centers = np.zeros((num_classes, dim), dtype=compute_dtype())
         self._initialized = np.zeros(num_classes, dtype=bool)
 
     def update(self, embeddings: np.ndarray, labels: np.ndarray) -> None:
@@ -125,7 +126,7 @@ def margin_center_loss(
     """
     embeddings = as_tensor(embeddings)
     labels = np.asarray(labels)
-    centers = np.asarray(centers, dtype=np.float64)
+    centers = ensure_float_array(centers)
     n, d = embeddings.shape
     k = centers.shape[0]
     if k < 2:
@@ -136,7 +137,7 @@ def margin_center_loss(
     own = distances[np.arange(n), labels].reshape(n, 1)
     violations = relu(own + margin - distances)
     # Zero out the own-class column (margin vs itself is meaningless).
-    mask = np.ones((n, k))
+    mask = np.ones((n, k), dtype=centers.dtype)
     mask[np.arange(n), labels] = 0.0
     violations = violations * Tensor(mask)
     return violations.sum() * (1.0 / (n * (k - 1)))

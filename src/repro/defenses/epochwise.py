@@ -32,6 +32,7 @@ from ..autograd import Tensor
 from ..data.loader import Batch
 from ..nn import Module, cross_entropy
 from ..optim import Optimizer
+from ..runtime import compute_dtype, ensure_float_array
 from ..utils.validation import check_in_unit_interval, check_positive
 from .trainer import Trainer
 
@@ -137,16 +138,19 @@ class EpochwiseAdvTrainer(Trainer):
         for row, index in enumerate(batch.indices):
             cached = self._cache.get(int(index))
             rows.append(cached if cached is not None else batch.x[row])
-        return np.stack(rows).astype(np.float64)
+        return ensure_float_array(np.stack(rows))
 
     def _store_batch(self, batch: Batch, x_adv: np.ndarray) -> None:
+        # The cross-epoch cache lives in the policy compute dtype; storing
+        # anything wider would double its memory footprint for no benefit.
+        x_adv = np.asarray(x_adv, dtype=compute_dtype())
         for row, index in enumerate(batch.indices):
             self._cache[int(index)] = x_adv[row]
 
     def adversarial_batch(self, batch: Batch) -> np.ndarray:
         """One perturbation step from the cached iterate (Figure 3b)."""
         x_start = self._cached_batch(batch)
-        x_clean = np.asarray(batch.x, dtype=np.float64)
+        x_clean = ensure_float_array(batch.x)
         x_adv = self._stepper.step(x_start, x_clean, batch.y)
         self._store_batch(batch, x_adv)
         return x_adv

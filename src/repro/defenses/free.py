@@ -27,6 +27,7 @@ from ..autograd import Tensor
 from ..data.loader import Batch
 from ..nn import Module, cross_entropy
 from ..optim import Optimizer
+from ..runtime import compute_dtype, ensure_float_array
 from ..utils.validation import check_positive
 from .trainer import Trainer
 
@@ -97,6 +98,8 @@ class FreeAdvTrainer(Trainer):
         return np.stack(rows)
 
     def _store_delta(self, batch: Batch, delta: np.ndarray) -> None:
+        # Persistent perturbations are cached in the policy compute dtype.
+        delta = np.asarray(delta, dtype=compute_dtype())
         for row, index in enumerate(batch.indices):
             self._delta[int(index)] = delta[row]
 
@@ -116,7 +119,7 @@ class FreeAdvTrainer(Trainer):
         losses = []
         for batch in loader:
             delta = self._batch_delta(batch)
-            x_clean = np.asarray(batch.x, dtype=np.float64)
+            x_clean = ensure_float_array(batch.x)
             for _replay in range(self.replays):
                 x_adv = clip_to_box(x_clean + delta)
                 x_tensor = Tensor(x_adv, requires_grad=True)

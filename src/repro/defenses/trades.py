@@ -23,6 +23,7 @@ from ..autograd import Tensor, log_softmax, softmax
 from ..data.loader import Batch
 from ..nn import Module, cross_entropy
 from ..optim import Optimizer
+from ..runtime import ensure_float_array
 from ..utils.validation import check_positive
 from .trainer import Trainer
 
@@ -99,7 +100,7 @@ class TradesTrainer(Trainer):
     def _maximise_kl(self, x: np.ndarray, clean_logits: np.ndarray):
         """Inner loop: find x_adv maximising KL(f(x_adv) || f(x))."""
         clean = Tensor(clean_logits)
-        x_adv = np.asarray(x, dtype=np.float64).copy()
+        x_adv = ensure_float_array(x, copy=True)
         for _ in range(self.num_steps):
             x_tensor = Tensor(x_adv, requires_grad=True)
             adv_logits = self.model(x_tensor)

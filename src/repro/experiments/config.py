@@ -8,10 +8,12 @@ used in tests (``smoke_scale``).
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..data.synthetic import dataset_epsilon
+from ..runtime import precision
 
 __all__ = ["ExperimentConfig", "paper_scale", "smoke_scale"]
 
@@ -39,6 +41,9 @@ class ExperimentConfig:
         Total l_inf budget; ``None`` uses the dataset default.
     eval_batch_size:
         Batch size for robustness evaluation.
+    dtype:
+        Floating dtype for the whole experiment (``"float32"`` or
+        ``"float64"``).  ``None`` inherits the ambient runtime policy.
     """
 
     dataset: str = "digits"
@@ -52,8 +57,16 @@ class ExperimentConfig:
     seed: int = 0
     epsilon: Optional[float] = None
     eval_batch_size: int = 256
+    dtype: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.dtype is not None and self.dtype not in (
+            "float32",
+            "float64",
+        ):
+            raise ValueError(
+                f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
+            )
         if self.train_per_class <= 0 or self.test_per_class <= 0:
             raise ValueError("split sizes must be positive")
         if self.epochs <= 0:
@@ -74,6 +87,16 @@ class ExperimentConfig:
         if self.epsilon is not None:
             return self.epsilon
         return dataset_epsilon(self.dataset)
+
+    def precision_scope(self):
+        """Context manager activating this config's precision policy.
+
+        A no-op when ``dtype`` is unset, so experiments run under whatever
+        policy the caller (CLI flag, env var, library default) installed.
+        """
+        if self.dtype is None:
+            return contextlib.nullcontext()
+        return precision(self.dtype)
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""

@@ -56,13 +56,14 @@ class ClassifierPool:
         self.config = config
         self.verbose = verbose
         self._cache: Dict[str, TrainedDefense] = {}
-        self.train_set, self.test_set = load_dataset(
-            config.dataset,
-            train_per_class=config.train_per_class,
-            test_per_class=config.test_per_class,
-            seed=config.seed,
-        )
-        self.test_x, self.test_y = self.test_set.arrays()
+        with config.precision_scope():
+            self.train_set, self.test_set = load_dataset(
+                config.dataset,
+                train_per_class=config.train_per_class,
+                test_per_class=config.test_per_class,
+                seed=config.seed,
+            )
+            self.test_x, self.test_y = self.test_set.arrays()
 
     # ------------------------------------------------------------------
     @property
@@ -94,21 +95,22 @@ class ClassifierPool:
         """
         if not trainer_overrides and name in self._cache:
             return self._cache[name]
-        model = self._make_model()
-        kwargs = self._trainer_kwargs(name)
-        kwargs.update(trainer_overrides)
-        trainer = build_trainer(
-            name,
-            model,
-            epsilon=self.epsilon,
-            lr=self.config.lr,
-            **kwargs,
-        )
-        history = trainer.fit(
-            self._make_loader(),
-            epochs=self.config.epochs,
-            verbose=self.verbose,
-        )
+        with self.config.precision_scope():
+            model = self._make_model()
+            kwargs = self._trainer_kwargs(name)
+            kwargs.update(trainer_overrides)
+            trainer = build_trainer(
+                name,
+                model,
+                epsilon=self.epsilon,
+                lr=self.config.lr,
+                **kwargs,
+            )
+            history = trainer.fit(
+                self._make_loader(),
+                epochs=self.config.epochs,
+                verbose=self.verbose,
+            )
         trained = TrainedDefense(name=name, model=model, history=history)
         if not trainer_overrides:
             self._cache[name] = trained
@@ -151,7 +153,8 @@ class ClassifierPool:
             if not filename.endswith(".npz"):
                 continue
             name = filename[: -len(".npz")]
-            model = self._make_model()
+            with self.config.precision_scope():
+                model = self._make_model()
             model.load_state_dict(
                 load_state_dict(os.path.join(directory, filename))
             )

@@ -1,7 +1,10 @@
 """Weight-initialization schemes.
 
 All initializers take an explicit ``numpy.random.Generator`` so that model
-construction is deterministic given a seed.
+construction is deterministic given a seed.  Arrays are emitted in the
+active precision policy's compute dtype (:mod:`repro.runtime`); sampling
+itself always happens in float64 so that a given seed produces the same
+weights (up to rounding) at every precision.
 """
 
 from __future__ import annotations
@@ -10,6 +13,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..runtime import compute_dtype
 from ..utils.rng import RngLike, ensure_rng
 
 __all__ = [
@@ -44,23 +48,25 @@ def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
 
 
 def zeros(shape) -> np.ndarray:
-    """All-zeros array of ``shape``."""
-    return np.zeros(shape, dtype=np.float64)
+    """All-zeros array of ``shape`` in the policy compute dtype."""
+    return np.zeros(shape, dtype=compute_dtype())
 
 
 def ones(shape) -> np.ndarray:
-    """All-ones array of ``shape``."""
-    return np.ones(shape, dtype=np.float64)
+    """All-ones array of ``shape`` in the policy compute dtype."""
+    return np.ones(shape, dtype=compute_dtype())
 
 
 def uniform(shape, low: float, high: float, rng: RngLike = None) -> np.ndarray:
-    """Uniform samples in ``[low, high)``."""
-    return ensure_rng(rng).uniform(low, high, size=shape)
+    """Uniform samples in ``[low, high)`` in the policy compute dtype."""
+    samples = ensure_rng(rng).uniform(low, high, size=shape)
+    return samples.astype(compute_dtype(), copy=False)
 
 
 def normal(shape, mean: float = 0.0, std: float = 1.0, rng: RngLike = None) -> np.ndarray:
-    """Gaussian samples with the given mean and std."""
-    return ensure_rng(rng).normal(mean, std, size=shape)
+    """Gaussian samples with the given mean/std in the policy compute dtype."""
+    samples = ensure_rng(rng).normal(mean, std, size=shape)
+    return samples.astype(compute_dtype(), copy=False)
 
 
 def xavier_uniform(shape, gain: float = 1.0, rng: RngLike = None) -> np.ndarray:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...autograd import Tensor, dropout_mask
+from ...runtime import compute_dtype
 from ...utils.rng import RngLike, ensure_rng
 from ...utils.validation import check_probability
 from ..module import Module
@@ -33,7 +34,7 @@ class Dropout(Module):
         keep = 1.0 - self.rate
         mask = (
             self._rng.random(x.shape) < keep
-        ).astype(x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64)
+        ).astype(x.dtype if np.issubdtype(x.dtype, np.floating) else compute_dtype())
         mask /= keep
         return dropout_mask(x, mask)
 

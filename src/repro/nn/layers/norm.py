@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...autograd import Tensor
+from ...runtime import compute_dtype
 from ..module import Module, Parameter
 
 __all__ = ["BatchNorm1d", "BatchNorm2d"]
@@ -40,8 +41,12 @@ class _BatchNorm(Module):
         else:
             self.gamma = None
             self.beta = None
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        self.register_buffer(
+            "running_mean", np.zeros(num_features, dtype=compute_dtype())
+        )
+        self.register_buffer(
+            "running_var", np.ones(num_features, dtype=compute_dtype())
+        )
 
     def _reduction_axes(self, x: Tensor) -> tuple:
         raise NotImplementedError

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, as_tensor, log_softmax
+from ..runtime import compute_dtype
 from ..utils.validation import check_in_unit_interval
 from .module import Module
 
@@ -37,7 +38,7 @@ def one_hot(labels, num_classes: int) -> np.ndarray:
             f"labels out of range for {num_classes} classes: "
             f"[{labels.min()}, {labels.max()}]"
         )
-    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=compute_dtype())
     encoded[np.arange(labels.shape[0]), labels] = 1.0
     return encoded
 

@@ -18,18 +18,26 @@ from typing import Dict, Iterator, Tuple
 import numpy as np
 
 from ..autograd import Tensor
+from ..runtime import compute_dtype
 
 __all__ = ["Parameter", "Module"]
 
 
 class Parameter(Tensor):
-    """A tensor registered as a learnable parameter of a module."""
+    """A tensor registered as a learnable parameter of a module.
+
+    Created in the active precision policy's compute dtype; use
+    :meth:`Module.to_dtype` to cast an existing module after construction
+    (e.g. after loading a float64 checkpoint into a float32 session).
+    """
 
     def __init__(self, data) -> None:
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+        super().__init__(
+            np.asarray(data, dtype=compute_dtype()), requires_grad=True
+        )
 
     def __repr__(self) -> str:
-        return f"Parameter(shape={self.shape})"
+        return f"Parameter(shape={self.shape}, dtype={self.dtype})"
 
 
 class Module:
@@ -108,6 +116,40 @@ class Module:
     def eval(self) -> "Module":
         """Switch to evaluation mode."""
         return self.train(False)
+
+    # ------------------------------------------------------------------
+    # precision
+    # ------------------------------------------------------------------
+    def to_dtype(self, dtype) -> "Module":
+        """Cast all parameters, gradients and float buffers to ``dtype``.
+
+        In-place (parameter identity is preserved, so optimizers holding
+        references keep working; their state buffers re-sync on the next
+        ``step``).  Integer/bool buffers are left untouched.  Returns
+        ``self`` for chaining — the cast-after-load path::
+
+            model.load_state_dict(checkpoint)   # float64 checkpoint
+            model.to_dtype("float32")
+        """
+        dtype = np.dtype(dtype)
+        if not np.issubdtype(dtype, np.floating):
+            raise TypeError(
+                f"to_dtype requires a floating dtype, got {dtype}"
+            )
+        for param in self.parameters():
+            param.data = param.data.astype(dtype, copy=False)
+            if param.grad is not None:
+                param.grad = param.grad.astype(dtype, copy=False)
+        for _prefix, module in self.named_modules():
+            buffers = getattr(module, "_buffers", None)
+            if not buffers:
+                continue
+            for buf_name, buf in list(buffers.items()):
+                if np.issubdtype(np.asarray(buf).dtype, np.floating):
+                    module._update_buffer(
+                        buf_name, np.asarray(buf).astype(dtype, copy=False)
+                    )
+        return self
 
     # ------------------------------------------------------------------
     # gradients

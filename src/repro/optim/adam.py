@@ -56,8 +56,8 @@ class Adam(Optimizer):
             if grad is None:
                 continue
             grad = self._apply_weight_decay(param, grad)
-            m = self._m[index]
-            v = self._v[index]
+            m = self._state_buffer(self._m, index, param)
+            v = self._state_buffer(self._v, index, param)
             m *= self.beta1
             m += (1.0 - self.beta1) * grad
             v *= self.beta2
@@ -65,8 +65,9 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             self._decoupled_decay(param)
-            param.data = param.data - self.lr * m_hat / (
-                np.sqrt(v_hat) + self.eps
+            self._assign(
+                param,
+                param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps),
             )
 
 
@@ -107,13 +108,13 @@ class RMSprop(Optimizer):
             grad = param.grad
             if grad is None:
                 continue
-            avg = self._avg[index]
+            avg = self._state_buffer(self._avg, index, param)
             avg *= self.alpha
             avg += (1.0 - self.alpha) * grad * grad
             update = grad / (np.sqrt(avg) + self.eps)
             if self.momentum:
-                buf = self._buf[index]
+                buf = self._state_buffer(self._buf, index, param)
                 buf *= self.momentum
                 buf += update
                 update = buf
-            param.data = param.data - self.lr * update
+            self._assign(param, param.data - self.lr * update)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
+import numpy as np
+
 from ..nn.module import Parameter
 
 __all__ = ["Optimizer"]
@@ -38,3 +40,25 @@ class Optimizer:
         for param in self.params:
             if param.grad is not None:
                 yield param, param.grad
+
+    @staticmethod
+    def _state_buffer(store, index, param):
+        """Return ``store[index]``, re-synced to the parameter's dtype.
+
+        Keeps moment/velocity buffers in agreement with the parameter after
+        a ``Module.to_dtype`` cast performed post-construction.
+        """
+        buf = store[index]
+        if buf.dtype != param.data.dtype:
+            buf = store[index] = buf.astype(param.data.dtype)
+        return buf
+
+    @staticmethod
+    def _assign(param, new_data) -> None:
+        """Write an update back without changing the parameter's dtype.
+
+        Gradients may accumulate in a wider dtype than the parameters
+        (``Policy.accum_dtype``); the cast here stops that width from
+        leaking into the weights.
+        """
+        param.data = np.asarray(new_data).astype(param.data.dtype, copy=False)

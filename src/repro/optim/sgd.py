@@ -60,11 +60,11 @@ class SGD(Optimizer):
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             if self.momentum:
-                velocity = self._velocity[index]
+                velocity = self._state_buffer(self._velocity, index, param)
                 velocity *= self.momentum
                 velocity += grad
                 if self.nesterov:
                     grad = grad + self.momentum * velocity
                 else:
                     grad = velocity
-            param.data = param.data - self.lr * grad
+            self._assign(param, param.data - self.lr * grad)

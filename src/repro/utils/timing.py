@@ -15,19 +15,26 @@ __all__ = ["Timer", "EpochTimer"]
 
 
 class Timer:
-    """Context-manager stopwatch.
+    """Context-manager stopwatch, reusable across start/stop cycles.
+
+    ``elapsed`` holds the duration of the most recent segment; ``total``
+    accumulates every completed segment, so one Timer can meter repeated
+    regions (e.g. each batch of an epoch) without losing earlier segments.
 
     Example
     -------
-    >>> with Timer() as t:
-    ...     _ = sum(range(1000))
-    >>> t.elapsed >= 0.0
+    >>> t = Timer()
+    >>> for _ in range(3):
+    ...     with t:
+    ...         _ = sum(range(1000))
+    >>> t.total >= t.elapsed >= 0.0
     True
     """
 
     def __init__(self) -> None:
         self._start: Optional[float] = None
         self.elapsed: float = 0.0
+        self.total: float = 0.0
 
     def __enter__(self) -> "Timer":
         self._start = time.perf_counter()
@@ -36,6 +43,7 @@ class Timer:
     def __exit__(self, *exc_info) -> None:
         if self._start is not None:
             self.elapsed = time.perf_counter() - self._start
+            self.total += self.elapsed
             self._start = None
 
     def start(self) -> None:
@@ -43,12 +51,19 @@ class Timer:
         self._start = time.perf_counter()
 
     def stop(self) -> float:
-        """Stop and return the elapsed seconds."""
+        """Stop, accumulate into ``total``, and return the segment seconds."""
         if self._start is None:
             raise RuntimeError("Timer.stop() called before start()")
         self.elapsed = time.perf_counter() - self._start
+        self.total += self.elapsed
         self._start = None
         return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated total and last-segment reading."""
+        self._start = None
+        self.elapsed = 0.0
+        self.total = 0.0
 
 
 @dataclass

@@ -10,6 +10,8 @@ from repro.defenses import TradesTrainer, kl_divergence
 from repro.models import mnist_mlp
 from repro.optim import Adam
 
+from tests.helpers import box_tol
+
 
 def make_trainer(**kwargs):
     model = mnist_mlp(seed=0)
@@ -99,7 +101,7 @@ class TestTradesTrainer:
         batch = make_batch(digits_small, n=8)
         clean_logits = trainer.model(Tensor(batch.x)).data
         x_adv = trainer._maximise_kl(batch.x, clean_logits)
-        assert np.abs(x_adv - batch.x).max() <= 0.2 + 1e-12
+        assert np.abs(x_adv - batch.x).max() <= 0.2 + box_tol(batch.x)
         assert x_adv.min() >= 0.0 and x_adv.max() <= 1.0
 
     def test_training_gains_robustness(self, digits_small):

@@ -5,6 +5,7 @@ import pytest
 
 from repro.autograd import Tensor
 from repro.nn import Dense, Module, Parameter, ReLU, Sequential
+from repro.runtime import compute_dtype
 
 
 class Net(Module):
@@ -21,8 +22,11 @@ class TestParameter:
     def test_requires_grad(self):
         assert Parameter(np.ones(3)).requires_grad
 
-    def test_float64(self):
-        assert Parameter(np.ones(3, dtype=np.float32)).dtype == np.float64
+    def test_adopts_policy_dtype(self):
+        # Parameters always carry the active policy's compute dtype,
+        # whatever dtype the initial array arrived in.
+        assert Parameter(np.ones(3, dtype=np.float32)).dtype == compute_dtype()
+        assert Parameter(np.ones(3, dtype=np.float64)).dtype == compute_dtype()
 
     def test_repr(self):
         assert "shape=(2, 3)" in repr(Parameter(np.ones((2, 3))))

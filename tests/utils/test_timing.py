@@ -25,6 +25,34 @@ class TestTimer:
         with pytest.raises(RuntimeError):
             Timer().stop()
 
+    def test_total_accumulates_across_segments(self):
+        t = Timer()
+        segments = []
+        for _ in range(3):
+            t.start()
+            time.sleep(0.003)
+            segments.append(t.stop())
+        assert t.elapsed == segments[-1]
+        assert t.total == pytest.approx(sum(segments))
+        assert t.total >= 0.009
+
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        for _ in range(2):
+            with t:
+                time.sleep(0.003)
+        assert t.total >= 0.006
+        assert t.elapsed <= t.total
+
+    def test_reset_clears_total(self):
+        t = Timer()
+        with t:
+            time.sleep(0.002)
+        assert t.total > 0.0
+        t.reset()
+        assert t.total == 0.0
+        assert t.elapsed == 0.0
+
 
 class TestEpochTimer:
     def test_records_durations(self):
