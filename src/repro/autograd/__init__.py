@@ -42,6 +42,7 @@ from .ops_basic import (
     sub,
     where,
 )
+from .ops_loss import softmax_cross_entropy
 from .ops_nn import (
     avg_pool2d,
     conv2d,
@@ -104,6 +105,8 @@ __all__ = [
     "max_pool2d",
     "avg_pool2d",
     "dropout_mask",
+    # loss
+    "softmax_cross_entropy",
     # reduce
     "sum_",
     "mean",

@@ -2,13 +2,41 @@
 
 These are plain numpy routines (no autograd involvement).  Layout convention
 throughout the project is NCHW: ``(batch, channels, height, width)``.
+
+Two implementations live side by side, dispatched on the runtime hot-path
+flag (:func:`repro.runtime.hotpaths_enabled`):
+
+* the **fast** kernels gather patches through
+  ``np.lib.stride_tricks.sliding_window_view`` (a zero-copy strided view;
+  the only copy is the single C-level write into the column matrix) and
+  draw the column/padded scratch buffers from the per-thread
+  :class:`~repro.runtime.Workspace` pool so the identically-shaped
+  per-batch buffers are reused across training steps;
+* the **reference** kernels are the original kernel-position loops, kept
+  both as the ground truth the fast path is tested against and as the
+  pre-overhaul baseline the benchmark speedup gate times.
+
+Buffer ownership: ``im2col`` returns a workspace-acquired buffer the
+*caller* owns and should release once the columns are dead (see
+:mod:`repro.runtime.workspace`).  ``col2im``'s result escapes into the
+autograd engine as a gradient, so it is allocated normally; only its
+internal padded scratch buffer is pooled.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
-__all__ = ["conv_output_size", "im2col", "col2im"]
+from ..runtime import get_workspace, hotpaths_enabled
+
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "im2col_reference",
+    "col2im_reference",
+]
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -23,7 +51,12 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+    pad_value: float = 0.0,
 ) -> np.ndarray:
     """Rearrange image patches into columns.
 
@@ -31,12 +64,124 @@ def im2col(
     ----------
     x:
         Input of shape ``(N, C, H, W)``.
+    pad_value:
+        Fill value for the padded border (``0`` for convolution and average
+        pooling; ``-inf`` for max pooling so padding can never win argmax).
 
     Returns
     -------
     Array of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)`` where each
-    row is one receptive field.
+    row is one receptive field.  On the hot path this is a workspace buffer
+    owned by the caller.
     """
+    if not hotpaths_enabled():
+        return im2col_reference(x, kernel_h, kernel_w, stride, padding, pad_value)
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    ws = get_workspace()
+    pad_buf = None
+    if padding > 0:
+        pad_buf = ws.acquire(
+            (n, c, h + 2 * padding, w + 2 * padding), x.dtype
+        )
+        pad_buf.fill(pad_value)
+        pad_buf[:, :, padding : padding + h, padding : padding + w] = x
+        x = pad_buf
+    # (N, C, H', W', kh, kw) strided view over every window start, then
+    # subsampled to the stride grid — no data is copied until the final
+    # gather below.
+    windows = sliding_window_view(x, (kernel_h, kernel_w), axis=(2, 3))
+    windows = windows[
+        :,
+        :,
+        : (out_h - 1) * stride + 1 : stride,
+        : (out_w - 1) * stride + 1 : stride,
+    ]
+    cols = ws.acquire((n * out_h * out_w, c * kernel_h * kernel_w), x.dtype)
+    cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w)[...] = (
+        windows.transpose(0, 2, 3, 1, 4, 5)
+    )
+    if pad_buf is not None:
+        ws.release(pad_buf)
+    return cols
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back into an image."""
+    if not hotpaths_enabled():
+        return col2im_reference(
+            cols, input_shape, kernel_h, kernel_w, stride, padding
+        )
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w)
+    ws = get_workspace()
+    padded_h, padded_w = h + 2 * padding, w + 2 * padding
+    if (
+        stride == kernel_h == kernel_w
+        and padded_h == out_h * stride
+        and padded_w == out_w * stride
+    ):
+        # Non-overlapping windows that tile the (padded) image exactly —
+        # the pooling layout.  The scatter-add degenerates to a pure
+        # permutation, served by one strided assignment with no zero fill.
+        if padding > 0:
+            padded = ws.acquire((n, c, padded_h, padded_w), cols.dtype)
+        else:
+            # The accumulator itself escapes as the gradient, so it must
+            # not come from (or return to) the pool.
+            padded = np.empty((n, c, h, w), dtype=cols.dtype)
+        padded.reshape(n, c, out_h, kernel_h, out_w, kernel_w)[...] = (
+            cols.transpose(0, 3, 1, 4, 2, 5)
+        )
+        if padding > 0:
+            out = np.empty((n, c, h, w), dtype=padded.dtype)
+            out[...] = padded[:, :, padding:-padding, padding:-padding]
+            ws.release(padded)
+            return out
+        return padded
+    # General case: scatter-add in NHWC layout.  With channels innermost
+    # both the (strided) destination window and the column slice touch
+    # memory in near-contiguous runs, which is markedly faster than the
+    # channels-first scatter the reference kernel uses.
+    padded = ws.acquire((n, padded_h, padded_w, c), cols.dtype)
+    padded.fill(0.0)
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            padded[:, i:i_max:stride, j:j_max:stride, :] += cols[:, :, :, :, i, j]
+    if padding > 0:
+        core = padded[:, padding:-padding, padding:-padding, :]
+    else:
+        core = padded
+    out = np.empty((n, c, h, w), dtype=padded.dtype)
+    out[...] = core.transpose(0, 3, 1, 2)
+    ws.release(padded)
+    return out
+
+
+# ----------------------------------------------------------------------
+# reference implementations (pre-overhaul kernels)
+# ----------------------------------------------------------------------
+def im2col_reference(
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+    pad_value: float = 0.0,
+) -> np.ndarray:
+    """Kernel-position-loop :func:`im2col` (ground truth / baseline)."""
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
     out_w = conv_output_size(w, kernel_w, stride, padding)
@@ -45,6 +190,7 @@ def im2col(
             x,
             ((0, 0), (0, 0), (padding, padding), (padding, padding)),
             mode="constant",
+            constant_values=pad_value,
         )
     cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
     for i in range(kernel_h):
@@ -57,7 +203,7 @@ def im2col(
     )
 
 
-def col2im(
+def col2im_reference(
     cols: np.ndarray,
     input_shape: tuple,
     kernel_h: int,
@@ -65,7 +211,7 @@ def col2im(
     stride: int,
     padding: int,
 ) -> np.ndarray:
-    """Adjoint of :func:`im2col`: scatter-add columns back into an image."""
+    """Kernel-position-loop :func:`col2im` (ground truth / baseline)."""
     n, c, h, w = input_shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
     out_w = conv_output_size(w, kernel_w, stride, padding)

@@ -30,7 +30,12 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from ..runtime import accum_dtype, compute_dtype
+from ..runtime import (
+    accum_dtype,
+    compute_dtype,
+    get_workspace,
+    hotpaths_enabled,
+)
 
 __all__ = [
     "Tensor",
@@ -262,16 +267,42 @@ class Tensor:
 
         order = _topological_order(self)
         grads: dict[int, np.ndarray] = {id(self): grad}
+        # Ids of accumulation buffers this traversal allocated itself.  Only
+        # those may be mutated in place or recycled through the workspace:
+        # arrays returned by a Function.backward may alias its saved state
+        # or be shared between several of its inputs.
+        owned: set[int] = set()
+        hot = hotpaths_enabled()
+        workspace = get_workspace()
         for node in order:
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
+            node_owned = id(node_grad) in owned
+            owned.discard(id(node_grad))
             if node.requires_grad and node._ctx is None:
                 # Leaf: accumulate into .grad in the policy's accum dtype.
                 if node.grad is None:
-                    node.grad = node_grad.astype(accum_dtype(), copy=True)
+                    acc = accum_dtype()
+                    if node_owned and node_grad.dtype == acc:
+                        # Donate the engine-owned buffer instead of copying.
+                        node.grad = node_grad
+                    else:
+                        node.grad = node_grad.astype(acc, copy=True)
+                        if node_owned:
+                            workspace.release(node_grad)
                 else:
-                    node.grad = node.grad + node_grad
+                    existing = node.grad
+                    if (
+                        hot
+                        and np.result_type(existing.dtype, node_grad.dtype)
+                        == existing.dtype
+                    ):
+                        np.add(existing, node_grad, out=existing)
+                    else:
+                        node.grad = existing + node_grad
+                    if node_owned:
+                        workspace.release(node_grad)
                 continue
             ctx = node._ctx
             if ctx is None:
@@ -285,6 +316,7 @@ class Tensor:
                     f"{len(input_grads)} gradients for {len(ctx.inputs)} "
                     "inputs"
                 )
+            stored: list[np.ndarray] = []
             for inp, g in zip(ctx.inputs, input_grads):
                 if g is None or not isinstance(inp, Tensor):
                     continue
@@ -298,10 +330,36 @@ class Tensor:
                         f"{inp.data.shape}"
                     )
                 key = id(inp)
-                if key in grads:
-                    grads[key] = grads[key] + g
-                else:
+                current = grads.get(key)
+                if current is None:
                     grads[key] = g
+                    stored.append(g)
+                elif not hot:
+                    grads[key] = current + g
+                elif (
+                    id(current) in owned
+                    and np.result_type(current.dtype, g.dtype)
+                    == current.dtype
+                ):
+                    np.add(current, g, out=current)
+                elif current.dtype == g.dtype:
+                    total = workspace.acquire(current.shape, current.dtype)
+                    np.add(current, g, out=total)
+                    grads[key] = total
+                    owned.add(id(total))
+                    stored.append(total)
+                else:
+                    total = current + g
+                    grads[key] = total
+                    owned.add(id(total))
+                    stored.append(total)
+            if node_owned and not any(
+                s is node_grad or getattr(s, "base", None) is node_grad
+                for s in stored
+            ):
+                # The consumed gradient buffer was engine-allocated and did
+                # not leak into any downstream gradient: recycle it.
+                workspace.release(node_grad)
 
     # Operator overloads and math methods (add, matmul, sum, ...) are
     # attached by the ops modules; see ``repro.autograd.ops_basic`` etc.

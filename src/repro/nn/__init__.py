@@ -28,6 +28,7 @@ from .losses import (
     MSELoss,
     NLLLoss,
     cross_entropy,
+    cross_entropy_reference,
     mse_loss,
     nll_loss,
     one_hot,
@@ -57,6 +58,7 @@ __all__ = [
     "Sequential",
     # losses
     "cross_entropy",
+    "cross_entropy_reference",
     "nll_loss",
     "mse_loss",
     "one_hot",

@@ -10,13 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autograd import Tensor, as_tensor, log_softmax
-from ..runtime import compute_dtype
+from ..autograd import Tensor, as_tensor, log_softmax, softmax_cross_entropy
+from ..runtime import compute_dtype, hotpaths_enabled
 from ..utils.validation import check_in_unit_interval
 from .module import Module
 
 __all__ = [
     "cross_entropy",
+    "cross_entropy_reference",
     "nll_loss",
     "mse_loss",
     "CrossEntropyLoss",
@@ -74,6 +75,39 @@ def cross_entropy(
     label_smoothing:
         Mixes the one-hot target with the uniform distribution; ``0``
         recovers plain cross-entropy.
+
+    Notes
+    -----
+    On the hot path (the default) this dispatches to the fused
+    :func:`repro.autograd.softmax_cross_entropy` node — one graph node with
+    a closed-form ``(softmax - target) * scale`` backward — which every
+    trainer and attack therefore inherits.  With hot paths disabled
+    (``runtime.hotpaths(False)``) the composed
+    :func:`cross_entropy_reference` formulation is used instead.
+    """
+    if hotpaths_enabled():
+        return softmax_cross_entropy(
+            logits,
+            labels,
+            reduction=reduction,
+            label_smoothing=label_smoothing,
+        )
+    return cross_entropy_reference(
+        logits, labels, reduction=reduction, label_smoothing=label_smoothing
+    )
+
+
+def cross_entropy_reference(
+    logits: Tensor,
+    labels,
+    reduction: str = "mean",
+    label_smoothing: float = 0.0,
+) -> Tensor:
+    """Composed ``log_softmax``-based cross-entropy.
+
+    Ground truth for the fused kernel's parity/gradcheck tests and the
+    pre-overhaul baseline timed by the benchmark speedup gate; same
+    signature and semantics as :func:`cross_entropy`.
     """
     logits = as_tensor(logits)
     if logits.ndim != 2:

@@ -1,7 +1,7 @@
 """Runtime services shared by every layer of the stack.
 
-Currently hosts the precision policy (see :mod:`repro.runtime.policy`):
-a process-default plus thread-local stack of :class:`Policy` objects that
+Hosts the precision policy (see :mod:`repro.runtime.policy`): a
+process-default plus thread-local stack of :class:`Policy` objects that
 centralises every dtype decision — tensor creation, gradient accumulation,
 parameter initialisation, dataset emission and attack arithmetic.
 
@@ -10,6 +10,12 @@ parameter initialisation, dataset emission and attack arithmetic.
     runtime.set_default_policy("float32")
     with runtime.precision("float64"):
         ...
+
+Also hosts the scratch-buffer workspace (see
+:mod:`repro.runtime.workspace`): a per-thread pool the hot-path kernels
+(fused loss, im2col, backward accumulation) recycle their large buffers
+through, plus the ``hotpaths`` toggle that switches between the optimised
+kernels and the legacy reference implementations.
 """
 
 from .policy import (
@@ -25,6 +31,14 @@ from .policy import (
     resolve_policy,
     set_default_policy,
 )
+from .workspace import (
+    Workspace,
+    clear_workspace,
+    get_workspace,
+    hotpaths,
+    hotpaths_enabled,
+    set_hotpaths,
+)
 
 __all__ = [
     "Policy",
@@ -38,4 +52,10 @@ __all__ = [
     "accum_dtype",
     "grad_check_dtype",
     "ensure_float_array",
+    "Workspace",
+    "get_workspace",
+    "clear_workspace",
+    "hotpaths",
+    "hotpaths_enabled",
+    "set_hotpaths",
 ]

@@ -1,0 +1,181 @@
+"""Reusable scratch-buffer pool backing the hot-path kernels.
+
+The convolution/pooling kernels and the autograd engine allocate the same
+handful of large, identically-shaped buffers on every training step: the
+im2col column matrix, the zero-padded image used by ``col2im``, and the
+gradient-accumulation buffers of multi-consumer graph nodes.  Allocating
+(and for zero-filled buffers, memsetting) them anew each step is pure
+overhead, so this module provides a per-thread :class:`Workspace` pool that
+recycles them across steps.
+
+Ownership contract
+------------------
+``acquire`` hands out a buffer with **undefined contents** (``np.empty``
+semantics) that the caller owns exclusively.  When the caller can prove the
+buffer is dead — nothing else references it and it never escaped into a
+result the engine or user code holds — it calls ``release`` to return it to
+the pool.  Buffers that escape (layer outputs, gradients handed to the
+engine) are simply never released; they are garbage-collected as usual, so
+forgetting to release is a missed optimisation, never a bug.
+
+Hot-path toggle
+---------------
+``hotpaths``/``set_hotpaths`` switch the whole hot-path overhaul — the
+fused softmax-cross-entropy, the ``sliding_window_view`` im2col and the
+in-place gradient accumulation — between the optimised kernels and the
+legacy reference implementations.  With hot paths disabled ``acquire``
+degenerates to ``np.empty`` and ``release`` to a no-op, which is exactly
+the pre-overhaul allocation behaviour; the benchmark speedup gate times
+one flag value against the other.  The ``REPRO_HOTPATHS`` environment
+variable (``0``/``false`` to disable) sets the process default.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "Workspace",
+    "get_workspace",
+    "clear_workspace",
+    "hotpaths",
+    "hotpaths_enabled",
+    "set_hotpaths",
+]
+
+
+class Workspace:
+    """A pool of reusable scratch buffers keyed by ``(shape, dtype)``.
+
+    Parameters
+    ----------
+    max_per_key:
+        Maximum number of free buffers retained per ``(shape, dtype)`` key;
+        releases beyond the cap drop the buffer (it is garbage-collected).
+
+    Attributes
+    ----------
+    hits / misses:
+        Number of ``acquire`` calls served from the pool vs. freshly
+        allocated.  The allocation-regression tests assert that a warmed
+        training step acquires every buffer from the pool (``misses`` does
+        not move).
+    """
+
+    __slots__ = ("_free", "hits", "misses", "max_per_key")
+
+    def __init__(self, max_per_key: int = 16) -> None:
+        self._free: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.max_per_key = int(max_per_key)
+
+    @staticmethod
+    def _key(shape, dtype):
+        return (tuple(shape), np.dtype(dtype).str)
+
+    def acquire(self, shape, dtype) -> np.ndarray:
+        """Return an exclusively-owned buffer with undefined contents."""
+        if not hotpaths_enabled():
+            return np.empty(shape, dtype=dtype)
+        bucket = self._free.get(self._key(shape, dtype))
+        if bucket:
+            self.hits += 1
+            return bucket.pop()
+        self.misses += 1
+        return np.empty(shape, dtype=dtype)
+
+    def release(self, array) -> None:
+        """Return a dead buffer to the pool.
+
+        Only base, C-contiguous ndarrays are pooled; anything else (views,
+        non-arrays) is ignored, so callers can release unconditionally.
+        """
+        if not hotpaths_enabled():
+            return
+        if (
+            not isinstance(array, np.ndarray)
+            or array.base is not None
+            or not array.flags["C_CONTIGUOUS"]
+        ):
+            return
+        key = self._key(array.shape, array.dtype)
+        bucket = self._free.setdefault(key, [])
+        if len(bucket) >= self.max_per_key:
+            return
+        if any(buffered is array for buffered in bucket):
+            return  # guard against double release handing one buffer out twice
+        bucket.append(array)
+
+    def clear(self) -> None:
+        """Drop every pooled buffer and reset the hit/miss counters."""
+        self._free.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def cached_buffers(self) -> int:
+        """Number of free buffers currently held by the pool."""
+        return sum(len(bucket) for bucket in self._free.values())
+
+    @property
+    def cached_bytes(self) -> int:
+        """Total size in bytes of the free buffers held by the pool."""
+        return sum(
+            buf.nbytes for bucket in self._free.values() for buf in bucket
+        )
+
+
+def _default_enabled() -> bool:
+    value = os.environ.get("REPRO_HOTPATHS", "").strip().lower()
+    if value in ("0", "false", "off", "no"):
+        return False
+    return True
+
+
+class _WorkspaceState(threading.local):
+    """Per-thread pool + hot-path flag (mirrors the precision-policy stack)."""
+
+    def __init__(self) -> None:
+        self.workspace = Workspace()
+        self.enabled = _default_enabled()
+
+
+_state = _WorkspaceState()
+
+
+def get_workspace() -> Workspace:
+    """The calling thread's scratch-buffer pool."""
+    return _state.workspace
+
+
+def clear_workspace() -> None:
+    """Drop the calling thread's pooled buffers (tests, memory pressure)."""
+    _state.workspace.clear()
+
+
+def hotpaths_enabled() -> bool:
+    """Whether the optimised hot-path kernels are active for this thread."""
+    return _state.enabled
+
+
+def set_hotpaths(enabled: bool) -> bool:
+    """Enable/disable the hot-path kernels for this thread; returns previous."""
+    previous = _state.enabled
+    _state.enabled = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def hotpaths(enabled: bool) -> Iterator[None]:
+    """Scoped toggle of the hot-path kernels (benchmark before/after gate)."""
+    previous = set_hotpaths(enabled)
+    try:
+        yield
+    finally:
+        set_hotpaths(previous)

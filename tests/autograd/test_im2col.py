@@ -1,0 +1,92 @@
+"""Fast-vs-reference parity for the im2col/col2im kernels.
+
+The sliding-window gather and the layout-specialised scatter must be bit-
+compatible with the original kernel-position loops across every stride /
+padding / kernel combination the layers can produce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd._im2col import (
+    col2im,
+    col2im_reference,
+    conv_output_size,
+    im2col,
+    im2col_reference,
+)
+from repro.runtime import clear_workspace, get_workspace, hotpaths
+
+CASES = [
+    # (kernel, stride, padding)
+    (3, 1, 0),
+    (3, 1, 1),
+    (3, 2, 1),
+    (2, 2, 0),   # pooling tiling layout: pure-permutation col2im
+    (2, 2, 1),
+    (3, 3, 0),
+    (5, 1, 2),
+    (2, 1, 0),
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_pool():
+    clear_workspace()
+    yield
+    clear_workspace()
+
+
+@pytest.mark.parametrize("kernel,stride,padding", CASES)
+def test_im2col_matches_reference(kernel, stride, padding):
+    x = np.random.default_rng(0).normal(size=(2, 3, 12, 12))
+    expected = im2col_reference(x, kernel, kernel, stride, padding)
+    with hotpaths(True):
+        fast = im2col(x, kernel, kernel, stride, padding)
+        assert np.array_equal(fast, expected)
+        get_workspace().release(fast)
+
+
+@pytest.mark.parametrize("kernel,stride,padding", CASES)
+def test_col2im_matches_reference(kernel, stride, padding):
+    n, c, h, w = 2, 3, 12, 12
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    cols = np.random.default_rng(1).normal(
+        size=(n * out_h * out_w, c * kernel * kernel)
+    )
+    expected = col2im_reference(cols, (n, c, h, w), kernel, kernel, stride, padding)
+    with hotpaths(True):
+        fast = col2im(cols, (n, c, h, w), kernel, kernel, stride, padding)
+    assert np.allclose(fast, expected, atol=1e-12)
+
+
+def test_im2col_pad_value_reaches_border():
+    x = np.full((1, 1, 2, 2), 7.0)
+    with hotpaths(True):
+        cols = im2col(x, 2, 2, 1, 1, pad_value=-np.inf)
+        assert cols.min() == -np.inf
+        get_workspace().release(cols)
+    ref = im2col_reference(x, 2, 2, 1, 1, pad_value=-np.inf)
+    assert ref.min() == -np.inf
+
+
+def test_dispatch_follows_hotpath_flag():
+    x = np.random.default_rng(2).normal(size=(1, 2, 6, 6))
+    with hotpaths(False):
+        baseline = im2col(x, 3, 3, 1, 1)
+    with hotpaths(True):
+        fast = im2col(x, 3, 3, 1, 1)
+        assert np.array_equal(baseline, fast)
+        get_workspace().release(fast)
+
+
+def test_round_trip_counts_window_coverage():
+    # col2im(im2col(x)) multiplies each cell by its window multiplicity;
+    # for the 2x2/stride-2 tiling every cell is covered exactly once.
+    x = np.random.default_rng(3).normal(size=(2, 2, 8, 8))
+    with hotpaths(True):
+        cols = im2col(x, 2, 2, 2, 0)
+        back = col2im(cols, x.shape, 2, 2, 2, 0)
+        get_workspace().release(cols)
+    assert np.allclose(back, x, atol=1e-12)

@@ -179,6 +179,28 @@ class TestPooling:
         with pytest.raises(ValueError, match="does not fit"):
             max_pool2d(randn(1, 1, 2, 2), kernel_size=5)
 
+    def test_max_pool_padding_all_negative_input(self):
+        """Padding cells must never win the argmax.
+
+        With zero-filled padding, a window of strictly negative activations
+        would report 0 (the pad value) as its max and route gradient into
+        the void; the pad must act as -inf instead.
+        """
+        x = Tensor(
+            np.full((1, 1, 2, 2), -3.0), requires_grad=True
+        )
+        out = max_pool2d(x, kernel_size=2, stride=2, padding=1)
+        assert np.allclose(out.data, -3.0)
+        out.backward(np.ones_like(out.data))
+        # Each input cell is the max of exactly one window.
+        assert np.allclose(x.grad, 1.0)
+
+    def test_max_pool_padding_gradients(self):
+        check_gradients(
+            lambda a: max_pool2d(a, kernel_size=2, padding=1),
+            [randn(2, 2, 4, 4)],
+        )
+
 
 class TestDropoutMask:
     def test_applies_mask(self):
