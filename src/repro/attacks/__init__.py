@@ -1,27 +1,62 @@
-"""White-box evasion attacks (l_inf family).
+"""Evasion attacks, the attack-iteration engine and the attack registry.
 
+* :class:`AttackLoop` — the composable iteration engine every attack here
+  is built on (initializer / gradient estimator / step rule / projection /
+  stop condition), with batched per-example early stopping and
+  multi-restart.
 * :class:`FGSM` — single-step sign attack (Goodfellow et al., 2015).
 * :class:`BIM` — iterative FGSM (Kurakin et al., 2016); central to the
   paper's Figures 1-2 and Table I.  Exposes intermediate iterates.
 * :class:`PGD` — BIM with random start (Madry et al., 2017).
 * :class:`MIM` — momentum iterative method (Dong et al., 2018).
 * :class:`RandomNoise` — gradient-free noise baseline.
+* :func:`build_attack` / :func:`parse_attack_spec` — the single canonical
+  registry (``"bim:num_steps=30"`` spec strings) consumed by defenses,
+  evaluators, experiments, benchmarks and the CLI.
 """
 
-from .base import Attack, clip_to_box, project_linf
+from .base import Attack, clip_to_box, project, project_linf
 from .bim import BIM
 from .deepfool import DeepFool
 from .fgsm import FGSM
+from .loop import (
+    AttackLoop,
+    BackpropGradient,
+    BoxProjection,
+    ClassGradients,
+    GradientEstimator,
+    GradientStep,
+    L2BoxProjection,
+    L2NormalizedStep,
+    LinfBoxProjection,
+    LoopState,
+    Misclassified,
+    MomentumSignStep,
+    SignStep,
+    SpsaGradient,
+    UniformL2Init,
+    UniformLinfInit,
+    zero_init,
+)
 from .losses import margin_loss
 from .mim import MIM
 from .noise import RandomNoise
 from .pgd import PGD
 from .pgd_l2 import PGDL2, project_l2
+from .registry import (
+    AttackSpec,
+    attack_names,
+    build_attack,
+    canonical_attack_name,
+    parse_attack_spec,
+    register_attack,
+)
 from .spsa import SPSA
 
 __all__ = [
     "Attack",
     "clip_to_box",
+    "project",
     "project_linf",
     "project_l2",
     "FGSM",
@@ -33,4 +68,29 @@ __all__ = [
     "SPSA",
     "RandomNoise",
     "margin_loss",
+    # engine
+    "AttackLoop",
+    "LoopState",
+    "GradientStep",
+    "GradientEstimator",
+    "BackpropGradient",
+    "SpsaGradient",
+    "ClassGradients",
+    "SignStep",
+    "L2NormalizedStep",
+    "MomentumSignStep",
+    "LinfBoxProjection",
+    "L2BoxProjection",
+    "BoxProjection",
+    "Misclassified",
+    "UniformLinfInit",
+    "UniformL2Init",
+    "zero_init",
+    # registry
+    "AttackSpec",
+    "register_attack",
+    "attack_names",
+    "canonical_attack_name",
+    "parse_attack_spec",
+    "build_attack",
 ]

@@ -20,7 +20,7 @@ from ..nn import Module, cross_entropy
 from ..runtime import ensure_float_array
 from ..utils.validation import check_image_batch
 
-__all__ = ["Attack", "project_linf", "clip_to_box"]
+__all__ = ["Attack", "project", "project_linf", "clip_to_box"]
 
 
 def clip_to_box(x: np.ndarray, low: float = 0.0, high: float = 1.0) -> np.ndarray:
@@ -34,6 +34,31 @@ def project_linf(
     """Project ``x_adv`` onto the l_inf ball of radius ``epsilon`` around
     ``x_orig`` (elementwise clamp of the perturbation)."""
     return x_orig + np.clip(x_adv - x_orig, -epsilon, epsilon)
+
+
+def project(
+    x_adv: np.ndarray,
+    x_orig: np.ndarray,
+    epsilon: float,
+    clip_min: float = 0.0,
+    clip_max: float = 1.0,
+    out: np.ndarray = None,
+) -> np.ndarray:
+    """Fused l_inf-ball + image-box projection.
+
+    Replaces the old two-call ``clip_to_box(project_linf(...))`` pattern
+    with a single pass that reuses one buffer for every intermediate (pass
+    ``out=x_adv`` to project fully in place).  The ball projection stays in
+    delta form — ``x + clip(x' - x, -eps, eps)`` — because the one-clip
+    array-bounds formulation ``clip(x', x - eps, x + eps)`` is not
+    bit-identical in floating point, and iterate-for-iterate equivalence
+    with the legacy attacks is a hard guarantee of the attack engine.
+    """
+    out = np.subtract(x_adv, x_orig, out=out)
+    np.clip(out, -epsilon, epsilon, out=out)
+    np.add(out, x_orig, out=out)
+    np.clip(out, clip_min, clip_max, out=out)
+    return out
 
 
 class Attack:
@@ -105,13 +130,30 @@ class Attack:
         return self.generate(x, y)
 
     # ------------------------------------------------------------------
-    def _validate(self, x: np.ndarray, y: np.ndarray) -> None:
+    def _validate(self, x: np.ndarray, y: np.ndarray):
+        """Canonicalize an ``(x, y)`` batch; returns the coerced pair.
+
+        ``x`` becomes a floating array in the runtime policy dtype; ``y``
+        becomes a 1-D integer array (lists and integral float arrays are
+        coerced, so un-canonicalized labels can never reach the loss).
+        """
         check_image_batch(x)
+        x = ensure_float_array(x)
         y = np.asarray(y)
+        if y.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got shape {y.shape}")
         if len(y) != len(x):
             raise ValueError(
                 f"labels ({len(y)}) and examples ({len(x)}) disagree"
             )
+        if not np.issubdtype(y.dtype, np.integer):
+            coerced = y.astype(np.int64)
+            if np.any(coerced != y):
+                raise ValueError(
+                    f"labels must be integers, got dtype {y.dtype}"
+                )
+            y = coerced
+        return x, y
 
     @property
     def name(self) -> str:

@@ -6,6 +6,11 @@ This is the attack at the centre of the paper:
 * **Figure 2** fixes ``N = 10`` and inspects the *intermediate* iterates —
   :meth:`BIM.generate_with_intermediates` exposes exactly those.
 * **Table I** evaluates defenses against BIM(10) and BIM(30).
+
+The class is a declarative composition over the attack engine: zero
+initialisation, backprop gradients, sign steps, and the fused
+l_inf-ball + box projection.  Subclasses (PGD, MIM) swap individual
+pieces by overriding the ``_make_*`` factories.
 """
 
 from __future__ import annotations
@@ -14,9 +19,17 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..runtime import ensure_float_array
 from ..utils.validation import check_positive
-from .base import Attack, clip_to_box, project_linf
+from .base import Attack
+from .loop import (
+    AttackLoop,
+    BackpropGradient,
+    GradientStep,
+    LinfBoxProjection,
+    Misclassified,
+    SignStep,
+    zero_init,
+)
 
 __all__ = ["BIM"]
 
@@ -36,6 +49,11 @@ class BIM(Attack):
         Per-step perturbation (the paper's ``eps_s``).  Defaults to
         ``epsilon / num_steps`` — the schedule Figure 1 uses — so the total
         perturbation after ``N`` steps exactly reaches the budget.
+    early_stop:
+        Mask examples the model already misclassifies out of subsequent
+        forward/backward passes (batched per-example early stopping).
+        Off by default, which keeps the attack bit-for-bit identical to
+        the classic run-every-step loop.
     """
 
     def __init__(
@@ -44,6 +62,7 @@ class BIM(Attack):
         epsilon: float,
         num_steps: int = 10,
         step_size: Optional[float] = None,
+        early_stop: bool = False,
         **kwargs,
     ) -> None:
         super().__init__(model, **kwargs)
@@ -57,25 +76,58 @@ class BIM(Attack):
             else self.epsilon / self.num_steps
         )
         check_positive("step_size", self.step_size)
+        self.early_stop = bool(early_stop)
+        self._loop: Optional[AttackLoop] = None
+
+    # ------------------------------------------------------------------
+    # Engine composition (overridden by subclasses to swap pieces).
+    # ------------------------------------------------------------------
+    def _make_estimator(self):
+        return BackpropGradient(self.model, self.loss_fn)
+
+    def _make_rule(self):
+        return SignStep(self.step_size)
+
+    def _make_projection(self):
+        return LinfBoxProjection(self.epsilon, self.clip_min, self.clip_max)
+
+    def _make_initializer(self):
+        return zero_init
+
+    def _restarts(self) -> int:
+        return 1
+
+    @property
+    def loop(self) -> AttackLoop:
+        """The underlying :class:`AttackLoop` (built on first use)."""
+        if self._loop is None:
+            self._loop = AttackLoop(
+                self.model,
+                GradientStep(
+                    self._make_estimator(),
+                    self._make_rule(),
+                    self._make_projection(),
+                    direction=self.loss_direction(),
+                ),
+                num_steps=self.num_steps,
+                initializer=self._make_initializer(),
+                stop=Misclassified(self.targeted),
+                early_stop=self.early_stop,
+                restarts=self._restarts(),
+            )
+        return self._loop
 
     # ------------------------------------------------------------------
     def step(
         self, x_adv: np.ndarray, x_orig: np.ndarray, y: np.ndarray
     ) -> np.ndarray:
         """One BIM iteration from ``x_adv``, projected around ``x_orig``."""
-        grad = self.input_gradient(x_adv, y)
-        moved = x_adv + self.loss_direction() * self.step_size * np.sign(grad)
-        projected = project_linf(moved, x_orig, self.epsilon)
-        return clip_to_box(projected, self.clip_min, self.clip_max)
+        return self.loop.step(x_adv, x_orig, y)
 
     def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Return adversarial examples for the batch ``(x, y)``."""
-        self._validate(x, y)
-        x = ensure_float_array(x)
-        x_adv = x.copy()
-        for _ in range(self.num_steps):
-            x_adv = self.step(x_adv, x, y)
-        return x_adv
+        x, y = self._validate(x, y)
+        return self.loop.run(x, y)
 
     def generate_with_intermediates(
         self, x: np.ndarray, y: np.ndarray
@@ -85,11 +137,5 @@ class BIM(Attack):
         ``result[i]`` is the adversarial batch after ``i + 1`` iterations;
         ``result[-1]`` equals :meth:`generate`'s output.
         """
-        self._validate(x, y)
-        x = ensure_float_array(x)
-        iterates: List[np.ndarray] = []
-        x_adv = x.copy()
-        for _ in range(self.num_steps):
-            x_adv = self.step(x_adv, x, y)
-            iterates.append(x_adv.copy())
-        return iterates
+        x, y = self._validate(x, y)
+        return self.loop.run(x, y, record_intermediates=True)

@@ -8,17 +8,82 @@ margin; included as an extension attack.
 
 The implementation evaluates per-class input gradients, so its cost per
 iteration is ``num_classes`` backward passes — use small batches.
+
+DeepFool is the attack the engine's batched early stopping was *made*
+for: it runs on the :class:`~repro.attacks.loop.AttackLoop` with
+``early_stop`` always on, so fooled examples drop out of the expensive
+per-class gradient passes the moment the forward pass shows they crossed
+the boundary.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..autograd import Tensor
-from ..runtime import ensure_float_array
-from .base import Attack, clip_to_box
+from .base import Attack
+from .loop import (
+    AttackLoop,
+    BoxProjection,
+    ClassGradients,
+    LoopState,
+    Misclassified,
+    zero_init,
+)
 
 __all__ = ["DeepFool"]
+
+
+class DeepFoolStep:
+    """Linearisation step: move to the nearest linearised class boundary.
+
+    Implements the engine's step protocol (``gradient``/``apply``): the
+    "gradient" phase computes the full per-example perturbation from the
+    per-class input gradients (zero for rows the model already
+    misclassifies — the loop retires those before the update lands), and
+    the apply phase adds it under a box-only projection.
+    """
+
+    def __init__(
+        self, model, overshoot, overshoot_growth, clip_min, clip_max
+    ) -> None:
+        self.class_grads = ClassGradients(model)
+        self.overshoot = float(overshoot)
+        self.overshoot_growth = float(overshoot_growth)
+        self.projection = BoxProjection(clip_min, clip_max)
+
+    def gradient(self, x_adv, y, state: LoopState) -> np.ndarray:
+        logits, grads = self.class_grads(x_adv, state)
+        overshoot = self.overshoot * self.overshoot_growth ** state.step
+        still_correct = logits.argmax(axis=1) == y
+        perturbations = np.zeros_like(x_adv)
+        for i in range(len(y)):
+            if not still_correct[i]:
+                continue
+            true = y[i]
+            best_ratio = np.inf
+            best_delta = None
+            for cls in range(logits.shape[1]):
+                if cls == true:
+                    continue
+                w = grads[i, cls] - grads[i, true]
+                f = logits[i, cls] - logits[i, true]
+                w_norm = max(np.linalg.norm(w), 1e-12)
+                ratio = abs(f) / w_norm
+                if ratio < best_ratio:
+                    best_ratio = ratio
+                    best_delta = (abs(f) / (w_norm ** 2)) * w
+            if best_delta is not None:
+                perturbations[i] = (1.0 + overshoot) * best_delta
+        return perturbations
+
+    def apply(self, x_adv, x_orig, y, perturbations, state) -> np.ndarray:
+        moved = x_adv + perturbations
+        return self.projection(moved, x_orig)
+
+    def __call__(self, x_adv, x_orig, y, state) -> np.ndarray:
+        return self.apply(
+            x_adv, x_orig, y, self.gradient(x_adv, y, state), state
+        )
 
 
 class DeepFool(Attack):
@@ -61,66 +126,25 @@ class DeepFool(Attack):
         self.max_steps = int(max_steps)
         self.overshoot = float(overshoot)
         self.overshoot_growth = float(overshoot_growth)
-
-    # ------------------------------------------------------------------
-    def _logits_and_grads(self, x: np.ndarray):
-        """Return logits plus the input gradient of every class logit."""
-        grads = []
-        x_tensor = Tensor(x, requires_grad=True)
-        logits = self.model(x_tensor)
-        num_classes = logits.shape[1]
-        logits_data = logits.data
-        for cls in range(num_classes):
-            x_t = Tensor(x, requires_grad=True)
-            out = self.model(x_t)
-            out[np.arange(len(x)), np.full(len(x), cls)].sum().backward()
-            grads.append(x_t.grad)
-        return logits_data, np.stack(grads, axis=1)  # (N, C, ...)
+        self._loop = AttackLoop(
+            model,
+            DeepFoolStep(
+                model,
+                self.overshoot,
+                self.overshoot_growth,
+                self.clip_min,
+                self.clip_max,
+            ),
+            num_steps=self.max_steps,
+            initializer=zero_init,
+            stop=Misclassified(targeted=False),
+            early_stop=True,
+        )
 
     def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Return minimally perturbed misclassified examples."""
-        self._validate(x, y)
-        x = ensure_float_array(x)
-        y = np.asarray(y)
-        x_adv = x.copy()
-        active = np.ones(len(x), dtype=bool)
-        for step in range(self.max_steps):
-            if not active.any():
-                break
-            overshoot = self.overshoot * self.overshoot_growth ** step
-            logits, grads = self._logits_and_grads(x_adv[active])
-            labels = y[active]
-            rows = np.arange(len(labels))
-            still_correct = logits.argmax(axis=1) == labels
-            # Find, per example, the closest linearised boundary.
-            perturbations = np.zeros_like(x_adv[active])
-            for i in range(len(labels)):
-                if not still_correct[i]:
-                    continue
-                true = labels[i]
-                best_ratio = np.inf
-                best_delta = None
-                for cls in range(logits.shape[1]):
-                    if cls == true:
-                        continue
-                    w = grads[i, cls] - grads[i, true]
-                    f = logits[i, cls] - logits[i, true]
-                    w_norm = max(np.linalg.norm(w), 1e-12)
-                    ratio = abs(f) / w_norm
-                    if ratio < best_ratio:
-                        best_ratio = ratio
-                        best_delta = (abs(f) / (w_norm ** 2)) * w
-                if best_delta is not None:
-                    perturbations[i] = (1.0 + overshoot) * best_delta
-            chunk = clip_to_box(
-                x_adv[active] + perturbations, self.clip_min, self.clip_max
-            )
-            x_adv[active] = chunk
-            # Deactivate fooled examples.
-            fooled = self.model.predict(x_adv[active]) != labels
-            indices = np.flatnonzero(active)
-            active[indices[fooled]] = False
-        return x_adv
+        x, y = self._validate(x, y)
+        return self._loop.run(x, y)
 
     def perturbation_norms(
         self, x: np.ndarray, y: np.ndarray

@@ -4,15 +4,27 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..runtime import ensure_float_array
 from ..utils.validation import check_positive
-from .base import Attack, clip_to_box
+from .base import Attack
+from .loop import (
+    AttackLoop,
+    BackpropGradient,
+    BoxProjection,
+    GradientStep,
+    SignStep,
+    zero_init,
+)
 
 __all__ = ["FGSM"]
 
 
 class FGSM(Attack):
     """Single-step l_inf attack: ``x' = clip(x + eps * sign(grad))``.
+
+    Composed on the attack engine as one sign step of size ``epsilon``
+    from a zero initialisation with a box-only projection (a single
+    full-budget sign step cannot leave the l_inf ball, so no ball
+    projection is needed).
 
     Parameters
     ----------
@@ -26,11 +38,19 @@ class FGSM(Attack):
         super().__init__(model, **kwargs)
         check_positive("epsilon", epsilon)
         self.epsilon = float(epsilon)
+        self._loop = AttackLoop(
+            model,
+            GradientStep(
+                BackpropGradient(model, self.loss_fn),
+                SignStep(self.epsilon),
+                BoxProjection(self.clip_min, self.clip_max),
+                direction=self.loss_direction(),
+            ),
+            num_steps=1,
+            initializer=zero_init,
+        )
 
     def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Return adversarial examples for the batch ``(x, y)``."""
-        self._validate(x, y)
-        x = ensure_float_array(x)
-        grad = self.input_gradient(x, y)
-        step = self.loss_direction() * self.epsilon * np.sign(grad)
-        return clip_to_box(x + step, self.clip_min, self.clip_max)
+        x, y = self._validate(x, y)
+        return self._loop.run(x, y)

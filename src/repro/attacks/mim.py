@@ -1,19 +1,17 @@
 """Momentum Iterative Method (Dong et al., 2018).
 
 Accumulates a decayed running average of normalized gradients, stabilising
-the update direction across iterations.  Included as an additional
-iterative attack for evaluating transfer/robustness beyond BIM.
+the update direction across iterations.  On the attack engine this is BIM
+with the step rule swapped for
+:class:`~repro.attacks.loop.MomentumSignStep`.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
-from ..runtime import ensure_float_array
-from .base import clip_to_box, project_linf
 from .bim import BIM
+from .loop import MomentumSignStep
 
 __all__ = ["MIM"]
 
@@ -36,34 +34,12 @@ class MIM(BIM):
         decay: float = 1.0,
         **kwargs,
     ) -> None:
+        if decay < 0:
+            raise ValueError(f"decay must be non-negative, got {decay}")
         super().__init__(
             model, epsilon, num_steps=num_steps, step_size=step_size, **kwargs
         )
-        if decay < 0:
-            raise ValueError(f"decay must be non-negative, got {decay}")
         self.decay = float(decay)
 
-    def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """Return adversarial examples for the batch ``(x, y)``."""
-        self._validate(x, y)
-        x = ensure_float_array(x)
-        x_adv = x.copy()
-        momentum = np.zeros_like(x)
-        for _ in range(self.num_steps):
-            grad = self.input_gradient(x_adv, y)
-            # Normalise by mean absolute value per example (l1 normalisation).
-            flat = np.abs(grad).reshape(len(grad), -1).mean(axis=1)
-            flat = np.maximum(flat, 1e-12).reshape(
-                (-1,) + (1,) * (grad.ndim - 1)
-            )
-            momentum = self.decay * momentum + grad / flat
-            moved = (
-                x_adv
-                + self.loss_direction() * self.step_size * np.sign(momentum)
-            )
-            x_adv = clip_to_box(
-                project_linf(moved, x, self.epsilon),
-                self.clip_min,
-                self.clip_max,
-            )
-        return x_adv
+    def _make_rule(self):
+        return MomentumSignStep(self.step_size, self.decay)

@@ -4,12 +4,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
-from ..runtime import ensure_float_array
 from ..utils.rng import RngLike, ensure_rng
-from .base import clip_to_box
 from .bim import BIM
+from .loop import UniformLinfInit, zero_init
 
 __all__ = ["PGD"]
 
@@ -22,12 +19,19 @@ class PGD(BIM):
     paper's future-work section points toward ("more experiments to get
     deeper understanding of Single-Adv and Iter-Adv").
 
+    On the attack engine this is BIM with the initializer swapped for
+    :class:`~repro.attacks.loop.UniformLinfInit`, plus optional
+    multi-restart (each extra restart re-attacks only the examples the
+    previous runs failed to fool, from a fresh random start).
+
     Parameters
     ----------
     rng:
         Seed or generator for the random start.
     random_start:
         Disable to recover plain BIM behaviour.
+    restarts:
+        Number of random restarts (1 = classic PGD).
     """
 
     def __init__(
@@ -38,25 +42,24 @@ class PGD(BIM):
         step_size: Optional[float] = None,
         rng: RngLike = None,
         random_start: bool = True,
+        restarts: int = 1,
         **kwargs,
     ) -> None:
+        if restarts < 1:
+            raise ValueError(f"restarts must be at least 1, got {restarts}")
         super().__init__(
             model, epsilon, num_steps=num_steps, step_size=step_size, **kwargs
         )
         self.random_start = random_start
+        self.restarts = int(restarts)
         self._rng = ensure_rng(rng)
 
-    def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """Return adversarial examples for the batch ``(x, y)``. Starts from a random point in the ball."""
-        self._validate(x, y)
-        x = ensure_float_array(x)
-        if self.random_start:
-            noise = self._rng.uniform(
-                -self.epsilon, self.epsilon, size=x.shape
-            ).astype(x.dtype, copy=False)
-            x_adv = clip_to_box(x + noise, self.clip_min, self.clip_max)
-        else:
-            x_adv = x.copy()
-        for _ in range(self.num_steps):
-            x_adv = self.step(x_adv, x, y)
-        return x_adv
+    def _make_initializer(self):
+        if not self.random_start:
+            return zero_init
+        return UniformLinfInit(
+            self.epsilon, self._rng, self.clip_min, self.clip_max
+        )
+
+    def _restarts(self) -> int:
+        return self.restarts

@@ -2,7 +2,10 @@
 
 The paper's attacks are all l_inf; an l2 variant is the standard companion
 threat model and exercises a different projection geometry (hypersphere
-instead of hypercube).
+instead of hypercube).  On the attack engine the whole difference is three
+swapped pieces: the :class:`~repro.attacks.loop.UniformL2Init`
+initializer, the :class:`~repro.attacks.loop.L2NormalizedStep` rule and
+the :class:`~repro.attacks.loop.L2BoxProjection`.
 """
 
 from __future__ import annotations
@@ -11,10 +14,15 @@ from typing import Optional
 
 import numpy as np
 
-from ..runtime import ensure_float_array
 from ..utils.rng import RngLike, ensure_rng
 from ..utils.validation import check_positive
-from .base import Attack, clip_to_box
+from .bim import BIM
+from .loop import (
+    L2BoxProjection,
+    L2NormalizedStep,
+    UniformL2Init,
+    zero_init,
+)
 
 __all__ = ["PGDL2", "project_l2"]
 
@@ -33,14 +41,7 @@ def project_l2(
     return x_orig + flat.reshape(delta.shape)
 
 
-def _normalize_l2(grad: np.ndarray) -> np.ndarray:
-    """Scale each example's gradient to unit l2 norm."""
-    flat = grad.reshape(len(grad), -1)
-    norms = np.maximum(np.linalg.norm(flat, axis=1), 1e-12)
-    return (flat / norms[:, None]).reshape(grad.shape)
-
-
-class PGDL2(Attack):
+class PGDL2(BIM):
     """Projected gradient descent on the l2 ball.
 
     Parameters
@@ -54,6 +55,8 @@ class PGDL2(Attack):
         (the standard heuristic that lets the iterate traverse the ball).
     rng, random_start:
         Uniform random start inside the ball (Gaussian direction, scaled).
+    restarts:
+        Number of random restarts (1 = classic behaviour).
     """
 
     def __init__(
@@ -64,51 +67,41 @@ class PGDL2(Attack):
         step_size: Optional[float] = None,
         rng: RngLike = None,
         random_start: bool = True,
+        restarts: int = 1,
         **kwargs,
     ) -> None:
-        super().__init__(model, **kwargs)
         check_positive("epsilon", epsilon)
         if num_steps <= 0:
             raise ValueError(f"num_steps must be positive, got {num_steps}")
-        self.epsilon = float(epsilon)
-        self.num_steps = int(num_steps)
-        self.step_size = (
-            float(step_size)
-            if step_size is not None
-            else 2.5 * self.epsilon / self.num_steps
+        if restarts < 1:
+            raise ValueError(f"restarts must be at least 1, got {restarts}")
+        super().__init__(
+            model,
+            epsilon,
+            num_steps=num_steps,
+            step_size=(
+                float(step_size)
+                if step_size is not None
+                else 2.5 * float(epsilon) / int(num_steps)
+            ),
+            **kwargs,
         )
-        check_positive("step_size", self.step_size)
         self.random_start = random_start
+        self.restarts = int(restarts)
         self._rng = ensure_rng(rng)
 
-    def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """Return adversarial examples for the batch ``(x, y)``."""
-        self._validate(x, y)
-        x = ensure_float_array(x)
-        if self.random_start:
-            direction = self._rng.normal(size=x.shape).astype(
-                x.dtype, copy=False
-            )
-            direction = _normalize_l2(direction)
-            radii = (
-                self.epsilon
-                * self._rng.uniform(
-                    0, 1, size=(len(x),) + (1,) * (x.ndim - 1)
-                )
-                ** (1.0 / x[0].size)
-            ).astype(x.dtype, copy=False)
-            x_adv = clip_to_box(
-                x + direction * radii, self.clip_min, self.clip_max
-            )
-        else:
-            x_adv = x.copy()
-        for _ in range(self.num_steps):
-            grad = self.input_gradient(x_adv, y)
-            step = (
-                self.loss_direction()
-                * self.step_size
-                * _normalize_l2(grad)
-            )
-            x_adv = project_l2(x_adv + step, x, self.epsilon)
-            x_adv = clip_to_box(x_adv, self.clip_min, self.clip_max)
-        return x_adv
+    def _make_rule(self):
+        return L2NormalizedStep(self.step_size)
+
+    def _make_projection(self):
+        return L2BoxProjection(self.epsilon, self.clip_min, self.clip_max)
+
+    def _make_initializer(self):
+        if not self.random_start:
+            return zero_init
+        return UniformL2Init(
+            self.epsilon, self._rng, self.clip_min, self.clip_max
+        )
+
+    def _restarts(self) -> int:
+        return self.restarts

@@ -1,0 +1,244 @@
+"""Canonical attack registry and ``name:param=value`` spec grammar.
+
+Every layer that names attacks — the defense trainers, the robustness and
+transfer evaluators, the experiment runners, the benchmarks and the CLI —
+resolves them here, through one table.  Before this registry existed the
+same names were spelled three slightly different ways (``attacks/__init__``
+exports, ``defenses/registry`` row names, ad-hoc constructor calls); now a
+single spec string builds any attack against any model:
+
+* ``"fgsm"`` — canonical name, library defaults;
+* ``"bim:num_steps=30"`` — parameters after a colon, comma-separated;
+* ``"pgd:num_steps=10,restarts=3,rng=0"`` — ints, floats and booleans are
+  coerced automatically;
+* ``"bim10"`` / ``"bim30"`` — paper-style aliases (Table I columns);
+* ``"clean"`` / ``"none"`` — the no-attack baseline (resolves to ``None``,
+  which evaluators treat as clean accuracy).
+
+``epsilon`` deserves a note: most attacks require a budget, but the right
+value is experiment-wide (0.25 digits / 0.2 fashion), so ``build_attack``
+accepts it as a keyword default that a spec's explicit ``epsilon=...``
+overrides.  Attacks that take no budget (DeepFool) simply never receive
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from .base import Attack
+from .bim import BIM
+from .deepfool import DeepFool
+from .fgsm import FGSM
+from .mim import MIM
+from .noise import RandomNoise
+from .pgd import PGD
+from .pgd_l2 import PGDL2
+from .spsa import SPSA
+
+__all__ = [
+    "AttackSpec",
+    "register_attack",
+    "attack_names",
+    "canonical_attack_name",
+    "parse_attack_spec",
+    "build_attack",
+]
+
+# Spec names that mean "no attack" (clean evaluation).
+_CLEAN_NAMES = ("clean", "none", "original")
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """A parsed ``name:param=value,...`` attack specification."""
+
+    name: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Back to spec-string form (canonical name, sorted params)."""
+        if not self.params:
+            return self.name
+        body = ",".join(
+            f"{key}={value}" for key, value in sorted(self.params.items())
+        )
+        return f"{self.name}:{body}"
+
+
+@dataclass(frozen=True)
+class _Entry:
+    cls: type
+    needs_epsilon: bool = True
+    defaults: Tuple[Tuple[str, object], ...] = ()
+
+
+_REGISTRY: Dict[str, _Entry] = {}
+_ALIASES: Dict[str, AttackSpec] = {}
+
+
+def register_attack(
+    name: str,
+    cls: type,
+    *,
+    needs_epsilon: bool = True,
+    **defaults,
+) -> type:
+    """Register an attack class under a canonical name.
+
+    ``defaults`` are constructor keywords applied before any spec params;
+    use :func:`register_alias` for parameterised shorthands instead.
+    """
+    key = name.strip().lower()
+    _REGISTRY[key] = _Entry(
+        cls, needs_epsilon=needs_epsilon, defaults=tuple(defaults.items())
+    )
+    return cls
+
+
+def register_alias(alias: str, spec: str) -> None:
+    """Register a shorthand that expands to a full spec string."""
+    _ALIASES[alias.strip().lower()] = parse_attack_spec(spec)
+
+
+def attack_names() -> Tuple[str, ...]:
+    """Canonical attack names, sorted (aliases not included)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def canonical_attack_name(name: str) -> str:
+    """Resolve a name or alias to its canonical registry name."""
+    key = name.strip().lower()
+    if key in _CLEAN_NAMES:
+        return "clean"
+    if key in _ALIASES:
+        return _ALIASES[key].name
+    if key in _REGISTRY:
+        return key
+    raise KeyError(
+        f"unknown attack {name!r}; choose from "
+        f"{attack_names() + tuple(sorted(_ALIASES)) + ('clean',)}"
+    )
+
+
+def _coerce(value: str):
+    """Coerce a spec-string value: int, float, bool, None or str."""
+    text = value.strip()
+    lowered = text.lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_attack_spec(spec) -> AttackSpec:
+    """Parse ``"name"`` or ``"name:key=value,key=value"`` into a spec.
+
+    Already-parsed :class:`AttackSpec` instances pass through unchanged.
+    """
+    if isinstance(spec, AttackSpec):
+        return spec
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError(f"attack spec must be a non-empty string, got {spec!r}")
+    name, _, body = spec.partition(":")
+    name = name.strip().lower()
+    params: Dict[str, object] = {}
+    if body.strip():
+        for item in body.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise ValueError(
+                    f"malformed attack spec {spec!r}: expected "
+                    f"'key=value', got {item!r}"
+                )
+            params[key] = _coerce(value)
+    # Expand aliases, with spec params overriding alias params.
+    if name in _ALIASES:
+        alias = _ALIASES[name]
+        merged = dict(alias.params)
+        merged.update(params)
+        return AttackSpec(alias.name, merged)
+    return AttackSpec(name, params)
+
+
+def build_attack(
+    spec,
+    model,
+    *,
+    epsilon: Optional[float] = None,
+    **overrides,
+) -> Optional[Attack]:
+    """Construct the attack a spec describes, bound to ``model``.
+
+    Parameters
+    ----------
+    spec:
+        Spec string, alias, or :class:`AttackSpec`.
+    model:
+        Victim classifier the attack is bound to.
+    epsilon:
+        Experiment-wide budget, used when the attack needs one and the
+        spec does not name it explicitly.
+    overrides:
+        Extra constructor keywords (e.g. ``loss_fn=margin_loss``); spec
+        params take precedence over these.
+
+    Returns ``None`` for the clean/no-attack spec, matching the evaluator
+    convention that a ``None`` attack means clean accuracy.
+    """
+    parsed = parse_attack_spec(spec)
+    if parsed.name in _CLEAN_NAMES:
+        return None
+    try:
+        entry = _REGISTRY[parsed.name]
+    except KeyError:
+        raise KeyError(
+            f"unknown attack {parsed.name!r}; choose from "
+            f"{attack_names() + tuple(sorted(_ALIASES)) + ('clean',)}"
+        ) from None
+    kwargs: Dict[str, object] = dict(entry.defaults)
+    kwargs.update(overrides)
+    kwargs.update(parsed.params)
+    if entry.needs_epsilon:
+        budget = kwargs.pop("epsilon", None)
+        if budget is None:
+            budget = epsilon
+        if budget is None:
+            raise ValueError(
+                f"attack {parsed.name!r} needs an epsilon; pass it in the "
+                f"spec ('{parsed.name}:epsilon=0.25') or as a keyword"
+            )
+        return entry.cls(model, budget, **kwargs)
+    kwargs.pop("epsilon", None)
+    return entry.cls(model, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# The canonical table.
+# ----------------------------------------------------------------------
+register_attack("fgsm", FGSM)
+register_attack("bim", BIM)
+register_attack("pgd", PGD)
+register_attack("pgd_l2", PGDL2)
+register_attack("mim", MIM)
+register_attack("spsa", SPSA)
+register_attack("deepfool", DeepFool, needs_epsilon=False)
+register_attack("noise", RandomNoise)
+
+register_alias("pgdl2", "pgd_l2")
+register_alias("random_noise", "noise")
+register_alias("bim10", "bim:num_steps=10")
+register_alias("bim30", "bim:num_steps=30")

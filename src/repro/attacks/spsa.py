@@ -6,6 +6,11 @@ loss, no backpropagation.  Because it never touches the model's gradients,
 SPSA penetrates gradient masking — it is the standard "is your white-box
 robustness real?" cross-check and complements the diagnostics in
 :mod:`repro.eval.diagnostics`.
+
+On the attack engine this is simply BIM's composition with the backprop
+estimator swapped for :class:`~repro.attacks.loop.SpsaGradient` — the
+``GradientEstimator`` seam is exactly where white-box and black-box
+attacks diverge.
 """
 
 from __future__ import annotations
@@ -13,16 +18,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, no_grad
-from ..nn import cross_entropy
-from ..runtime import ensure_float_array
 from ..utils.rng import RngLike, ensure_rng
 from ..utils.validation import check_positive
-from .base import Attack, clip_to_box, project_linf
+from .bim import BIM
+from .loop import LoopState, SpsaGradient
 
 __all__ = ["SPSA"]
 
 
-class SPSA(Attack):
+class SPSA(BIM):
     """Gradient-free l_inf attack via SPSA gradient estimation.
 
     Parameters
@@ -51,60 +55,47 @@ class SPSA(Attack):
         rng: RngLike = None,
         **kwargs,
     ) -> None:
-        super().__init__(model, **kwargs)
         check_positive("epsilon", epsilon)
         if num_steps <= 0:
             raise ValueError(f"num_steps must be positive, got {num_steps}")
         if samples <= 0:
             raise ValueError(f"samples must be positive, got {samples}")
         check_positive("delta", delta)
-        self.epsilon = float(epsilon)
-        self.num_steps = int(num_steps)
-        self.step_size = (
-            float(step_size)
-            if step_size is not None
-            else 2.0 * self.epsilon / self.num_steps
+        super().__init__(
+            model,
+            epsilon,
+            num_steps=num_steps,
+            step_size=(
+                float(step_size)
+                if step_size is not None
+                else 2.0 * float(epsilon) / int(num_steps)
+            ),
+            **kwargs,
         )
         self.samples = int(samples)
         self.delta = float(delta)
         self._rng = ensure_rng(rng)
 
+    def _make_estimator(self):
+        return SpsaGradient(
+            self.model,
+            self.loss_fn,
+            samples=self.samples,
+            delta=self.delta,
+            rng=self._rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Thin delegates kept for diagnostics and backwards compatibility.
     # ------------------------------------------------------------------
     def _loss_values(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Per-example loss, computed without building a graph."""
         with no_grad():
             logits = self.model(Tensor(x))
-            per_example = cross_entropy(logits, y, reduction="none")
+            per_example = self.loss_fn(logits, y, reduction="none")
         return per_example.data
 
     def _estimate_gradient(
         self, x: np.ndarray, y: np.ndarray
     ) -> np.ndarray:
-        estimate = np.zeros_like(x)
-        for _ in range(self.samples):
-            direction = self._rng.choice([-1.0, 1.0], size=x.shape).astype(
-                x.dtype, copy=False
-            )
-            plus = self._loss_values(x + self.delta * direction, y)
-            minus = self._loss_values(x - self.delta * direction, y)
-            diff = (plus - minus) / (2.0 * self.delta)
-            estimate += diff.reshape((-1,) + (1,) * (x.ndim - 1)) * direction
-        return estimate / self.samples
-
-    def generate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """Return adversarial examples for the batch ``(x, y)``. Uses only forward passes."""
-        self._validate(x, y)
-        x = ensure_float_array(x)
-        x_adv = x.copy()
-        for _ in range(self.num_steps):
-            grad = self._estimate_gradient(x_adv, y)
-            moved = (
-                x_adv
-                + self.loss_direction() * self.step_size * np.sign(grad)
-            )
-            x_adv = clip_to_box(
-                project_linf(moved, x, self.epsilon),
-                self.clip_min,
-                self.clip_max,
-            )
-        return x_adv
+        return self._make_estimator()(x, y, LoopState())

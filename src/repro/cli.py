@@ -114,7 +114,12 @@ def _cmd_audit(args) -> int:
         verbose=args.verbose,
     )
     x, y = test.arrays()
-    suite = RobustnessEvaluator.paper_suite(config.resolved_epsilon)
+    if args.attack:
+        suite = RobustnessEvaluator.from_specs(
+            args.attack, epsilon=config.resolved_epsilon
+        )
+    else:
+        suite = RobustnessEvaluator.paper_suite(config.resolved_epsilon)
     print(f"robust accuracy: {suite.evaluate(model, x, y)}")
     report = gradient_masking_report(
         model, x, y, epsilon=config.resolved_epsilon
@@ -176,6 +181,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--defense",
         default="proposed",
         help="defense registry name (e.g. proposed, atda, bim10_adv)",
+    )
+    p_audit.add_argument(
+        "--attack",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="attack spec 'name:param=value,...' from the attack registry "
+        "(repeatable, e.g. --attack fgsm --attack pgd:num_steps=20); "
+        "default: the Table I suite (original, fgsm, bim10, bim30)",
     )
     p_audit.set_defaults(func=_cmd_audit)
 

@@ -7,6 +7,10 @@ The package implements every Table I row:
 * :class:`IterAdvTrainer` — Iter-Adv / BIM(k)-Adv (Kurakin et al., 2016).
 * :class:`AtdaTrainer` — Single-Adv SOTA baseline (Song et al., 2018).
 * :class:`EpochwiseAdvTrainer` — the paper's proposed method.
+
+Build any of them by paper name through :func:`build_trainer`; the list of
+canonical names is :func:`defense_names`.  (``DEFENSE_NAMES`` and
+``EXTENSION_NAMES`` remain importable as deprecated aliases.)
 """
 
 from .adversarial import FgsmAdvTrainer, IterAdvTrainer, MixedAdversarialTrainer
@@ -23,7 +27,13 @@ from .epochwise import EpochwiseAdvTrainer
 from .free import FreeAdvTrainer
 from .label_smooth import LabelSmoothingTrainer
 from .pgd_adv import PgdAdvTrainer
-from .registry import DEFENSE_NAMES, EXTENSION_NAMES, build_trainer
+from .registry import (
+    EXTENSION_DEFENSES,
+    PAPER_DEFENSES,
+    build_trainer,
+    defense_names,
+    register_defense,
+)
 from .trades import TradesTrainer, kl_divergence
 from .trainer import Trainer, TrainingHistory
 
@@ -47,7 +57,22 @@ __all__ = [
     "coral_loss",
     "mean_alignment_loss",
     "margin_center_loss",
+    "PAPER_DEFENSES",
+    "EXTENSION_DEFENSES",
+    "defense_names",
+    "register_defense",
+    "build_trainer",
+    # deprecated aliases, served lazily via __getattr__
     "DEFENSE_NAMES",
     "EXTENSION_NAMES",
-    "build_trainer",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated constants: delegate to the registry module's shim so the
+    # DeprecationWarning is emitted exactly once per import site.
+    if name in ("DEFENSE_NAMES", "EXTENSION_NAMES"):
+        from . import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -17,7 +17,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..attacks import BIM, FGSM, Attack
+from ..attacks import Attack, build_attack
 from ..autograd import Tensor
 from ..data.loader import Batch
 from ..nn import Module, cross_entropy
@@ -32,13 +32,19 @@ class MixedAdversarialTrainer(Trainer):
     """Shared machinery: loss = alpha * clean + (1 - alpha) * adversarial.
 
     Subclasses provide the attack used to craft the adversarial half via
-    :meth:`make_attack` or by overriding :meth:`adversarial_batch`.
+    :meth:`make_attack` or by overriding :meth:`adversarial_batch`; callers
+    can instead pass any attack-registry spec string (``attack_spec``) and
+    train against that attack directly.
 
     Parameters
     ----------
     clean_weight:
         Mixture weight ``alpha`` on the clean loss (paper setups use 0.5:
         "a mixture of original and ... examples").
+    attack_spec:
+        Optional ``name:param=value`` spec resolved through the canonical
+        attack registry (:func:`repro.attacks.build_attack`); the trainer's
+        ``epsilon`` attribute (when set by a subclass) supplies the budget.
     """
 
     def __init__(
@@ -49,6 +55,7 @@ class MixedAdversarialTrainer(Trainer):
         scheduler=None,
         clean_weight: float = 0.5,
         warmup_epochs: int = 0,
+        attack_spec: Optional[str] = None,
     ) -> None:
         super().__init__(model, optimizer, loss_fn=loss_fn, scheduler=scheduler)
         check_in_unit_interval("clean_weight", clean_weight)
@@ -58,6 +65,7 @@ class MixedAdversarialTrainer(Trainer):
             )
         self.clean_weight = clean_weight
         self.warmup_epochs = int(warmup_epochs)
+        self.attack_spec = attack_spec
         self.attack: Optional[Attack] = None
 
     @property
@@ -67,6 +75,19 @@ class MixedAdversarialTrainer(Trainer):
 
     def make_attack(self) -> Attack:
         """Build the training attack bound to the current model."""
+        if self.attack_spec is not None:
+            attack = build_attack(
+                self.attack_spec,
+                self.model,
+                epsilon=getattr(self, "epsilon", None),
+                loss_fn=self.loss_fn,
+            )
+            if attack is None:
+                raise ValueError(
+                    "adversarial training needs a real attack; got clean "
+                    f"spec {self.attack_spec!r}"
+                )
+            return attack
         raise NotImplementedError
 
     def _ensure_attack(self) -> Attack:
@@ -101,7 +122,11 @@ class FgsmAdvTrainer(MixedAdversarialTrainer):
 
     def make_attack(self) -> Attack:
         """Build the training attack bound to the current model."""
-        return FGSM(self.model, self.epsilon, loss_fn=self.loss_fn)
+        if self.attack_spec is not None:
+            return super().make_attack()
+        return build_attack(
+            "fgsm", self.model, epsilon=self.epsilon, loss_fn=self.loss_fn
+        )
 
 
 class IterAdvTrainer(MixedAdversarialTrainer):
@@ -135,9 +160,12 @@ class IterAdvTrainer(MixedAdversarialTrainer):
 
     def make_attack(self) -> Attack:
         """Build the training attack bound to the current model."""
-        return BIM(
+        if self.attack_spec is not None:
+            return super().make_attack()
+        return build_attack(
+            "bim",
             self.model,
-            self.epsilon,
+            epsilon=self.epsilon,
             num_steps=self.num_steps,
             step_size=self.step_size,
             loss_fn=self.loss_fn,

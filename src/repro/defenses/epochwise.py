@@ -27,7 +27,13 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from ..attacks import BIM
+from ..attacks import (
+    AttackLoop,
+    BackpropGradient,
+    GradientStep,
+    LinfBoxProjection,
+    SignStep,
+)
 from ..autograd import Tensor
 from ..data.loader import Batch
 from ..nn import Module, cross_entropy
@@ -97,13 +103,20 @@ class EpochwiseAdvTrainer(Trainer):
         self.clean_weight = clean_weight
         # dataset index -> current adversarial example (carried across epochs)
         self._cache: Dict[int, np.ndarray] = {}
-        # One-step "attack" reusing BIM's projection logic.
-        self._stepper = BIM(
+        # The paper's method IS the attack engine run with carried state:
+        # the per-example cache plays the initializer role (the iterate is
+        # resumed, not restarted), and each epoch applies exactly one
+        # engine step — a BIM step composition (backprop gradient, sign
+        # rule, fused l_inf+box projection) with the clean example as the
+        # projection anchor.
+        self._stepper = AttackLoop(
             self.model,
-            self.epsilon,
+            GradientStep(
+                BackpropGradient(self.model, self.loss_fn),
+                SignStep(self.step_size),
+                LinfBoxProjection(self.epsilon),
+            ),
             num_steps=1,
-            step_size=self.step_size,
-            loss_fn=self.loss_fn,
         )
 
     # ------------------------------------------------------------------

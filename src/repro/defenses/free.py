@@ -22,7 +22,7 @@ from typing import Callable, Dict
 
 import numpy as np
 
-from ..attacks import clip_to_box
+from ..attacks import SignStep, clip_to_box
 from ..autograd import Tensor
 from ..data.loader import Batch
 from ..nn import Module, cross_entropy
@@ -79,6 +79,11 @@ class FreeAdvTrainer(Trainer):
         )
         check_positive("step_size", self.step_size)
         self.warmup_epochs = int(warmup_epochs)
+        # The ascent direction is the engine's sign rule; the loop driver
+        # itself cannot apply here because free training shares ONE
+        # backward pass between the parameter update and the perturbation
+        # update — the engine would pay a second, redundant backward.
+        self._ascent = SignStep(self.step_size)
         # dataset index -> persistent perturbation (delta), not the example.
         self._delta: Dict[int, np.ndarray] = {}
 
@@ -128,9 +133,10 @@ class FreeAdvTrainer(Trainer):
                 loss.backward()
                 # One backward, two uses: model update ...
                 self.optimizer.step()
-                # ... and perturbation ascent.
-                delta = delta + self.step_size * np.sign(x_tensor.grad)
-                delta = np.clip(delta, -self.epsilon, self.epsilon)
+                # ... and perturbation ascent (the engine's sign rule,
+                # clamped to the budget in delta space).
+                delta = delta + self._ascent(x_tensor.grad, None)
+                np.clip(delta, -self.epsilon, self.epsilon, out=delta)
                 losses.append(loss.item())
             self._store_delta(batch, delta)
         self.on_epoch_end(self.epoch)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..attacks import PGD, Attack
+from ..attacks import Attack, build_attack
 from ..utils.rng import RngLike
 from .adversarial import IterAdvTrainer
 
@@ -45,9 +45,12 @@ class PgdAdvTrainer(IterAdvTrainer):
 
     def make_attack(self) -> Attack:
         """Build the PGD training attack bound to the current model."""
-        return PGD(
+        if self.attack_spec is not None:
+            return super().make_attack()
+        return build_attack(
+            "pgd",
             self.model,
-            self.epsilon,
+            epsilon=self.epsilon,
             num_steps=self.num_steps,
             step_size=self.step_size,
             rng=self._rng,

@@ -8,11 +8,27 @@ Names follow the paper's rows:
 * ``"proposed"``     — the paper's epoch-wise Single-Adv method
 * ``"bim10_adv"``    — Iter-Adv with BIM(10)
 * ``"bim30_adv"``    — Iter-Adv with BIM(30)
+
+The registry is table-driven: each defense registers one builder, and the
+Iter-Adv families are a single *pattern* rather than one row per step
+count — any ``bim{N}_adv`` or ``pgd{N}_adv`` name resolves to the
+corresponding trainer with ``num_steps=N``, so ``bim7_adv`` works exactly
+like the paper's ``bim10_adv``/``bim30_adv`` columns.  Attack *names*
+inside the trainers are no longer spelled here at all; the trainers build
+their training attacks through the canonical attack registry
+(:func:`repro.attacks.build_attack`).
+
+``DEFENSE_NAMES`` and ``EXTENSION_NAMES`` are kept as deprecated module
+attributes (module ``__getattr__``); new code should call
+:func:`defense_names` or use :data:`PAPER_DEFENSES` /
+:data:`EXTENSION_DEFENSES`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import re
+import warnings
+from typing import Callable, Dict, Optional, Tuple
 
 from ..nn import Module
 from ..optim import Adam, Optimizer
@@ -25,10 +41,16 @@ from .pgd_adv import PgdAdvTrainer
 from .trades import TradesTrainer
 from .trainer import Trainer
 
-__all__ = ["DEFENSE_NAMES", "EXTENSION_NAMES", "build_trainer"]
+__all__ = [
+    "PAPER_DEFENSES",
+    "EXTENSION_DEFENSES",
+    "defense_names",
+    "register_defense",
+    "build_trainer",
+]
 
 # The Table I rows.
-DEFENSE_NAMES = (
+PAPER_DEFENSES = (
     "vanilla",
     "fgsm_adv",
     "atda",
@@ -38,7 +60,91 @@ DEFENSE_NAMES = (
 )
 
 # Extension baselines beyond the paper (future-work section).
-EXTENSION_NAMES = ("pgd_adv", "free_adv", "trades", "label_smooth")
+EXTENSION_DEFENSES = ("pgd_adv", "free_adv", "trades", "label_smooth")
+
+# Deprecated aliases for the two tuples above, served via __getattr__.
+_DEPRECATED_CONSTANTS = {
+    "DEFENSE_NAMES": PAPER_DEFENSES,
+    "EXTENSION_NAMES": EXTENSION_DEFENSES,
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_CONSTANTS:
+        warnings.warn(
+            f"repro.defenses.{name} is deprecated; use "
+            "defense_names() / PAPER_DEFENSES / EXTENSION_DEFENSES",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _DEPRECATED_CONSTANTS[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+# name -> builder(model, optimizer, epsilon, kwargs) -> Trainer
+_BUILDERS: Dict[str, Callable[..., Trainer]] = {}
+
+# Iter-Adv families: ``bim{N}_adv`` / ``pgd{N}_adv`` with any step count.
+_ITER_FAMILIES: Dict[str, type] = {"bim": IterAdvTrainer, "pgd": PgdAdvTrainer}
+_ITER_PATTERN = re.compile(r"(?P<family>[a-z]+)(?P<steps>\d+)_adv")
+
+
+def register_defense(
+    name: str, builder: Callable[..., Trainer]
+) -> Callable[..., Trainer]:
+    """Register ``builder(model, optimizer, epsilon, **kwargs)`` under a name."""
+    _BUILDERS[name.strip().lower()] = builder
+    return builder
+
+
+def defense_names(include_extensions: bool = True) -> Tuple[str, ...]:
+    """Canonical defense names (Table I rows, then extensions)."""
+    if include_extensions:
+        return PAPER_DEFENSES + EXTENSION_DEFENSES
+    return PAPER_DEFENSES
+
+
+register_defense(
+    "vanilla", lambda model, optimizer, epsilon, **kw: Trainer(
+        model, optimizer, **kw
+    )
+)
+register_defense(
+    "fgsm_adv", lambda model, optimizer, epsilon, **kw: FgsmAdvTrainer(
+        model, optimizer, epsilon=epsilon, **kw
+    )
+)
+register_defense(
+    "atda", lambda model, optimizer, epsilon, **kw: AtdaTrainer(
+        model, optimizer, epsilon=epsilon, **kw
+    )
+)
+register_defense(
+    "proposed", lambda model, optimizer, epsilon, **kw: EpochwiseAdvTrainer(
+        model, optimizer, epsilon=epsilon, **kw
+    )
+)
+register_defense(
+    "pgd_adv", lambda model, optimizer, epsilon, **kw: PgdAdvTrainer(
+        model, optimizer, epsilon=epsilon, **kw
+    )
+)
+register_defense(
+    "free_adv", lambda model, optimizer, epsilon, **kw: FreeAdvTrainer(
+        model, optimizer, epsilon=epsilon, **kw
+    )
+)
+register_defense(
+    "trades", lambda model, optimizer, epsilon, **kw: TradesTrainer(
+        model, optimizer, epsilon=epsilon, **kw
+    )
+)
+# Label smoothing takes no attack budget.
+register_defense(
+    "label_smooth", lambda model, optimizer, epsilon, **kw: (
+        LabelSmoothingTrainer(model, optimizer, **kw)
+    )
+)
 
 
 def build_trainer(
@@ -54,7 +160,8 @@ def build_trainer(
     Parameters
     ----------
     name:
-        One of :data:`DEFENSE_NAMES`.
+        One of :func:`defense_names`, or any Iter-Adv pattern name
+        ``bim{N}_adv`` / ``pgd{N}_adv``.
     model:
         The classifier to train.
     epsilon:
@@ -66,32 +173,21 @@ def build_trainer(
     """
     if optimizer is None:
         optimizer = Adam(model.parameters(), lr=lr)
-    if name == "vanilla":
-        return Trainer(model, optimizer, **kwargs)
-    if name == "fgsm_adv":
-        return FgsmAdvTrainer(model, optimizer, epsilon=epsilon, **kwargs)
-    if name == "atda":
-        return AtdaTrainer(model, optimizer, epsilon=epsilon, **kwargs)
-    if name == "proposed":
-        return EpochwiseAdvTrainer(model, optimizer, epsilon=epsilon, **kwargs)
-    if name == "bim10_adv":
-        return IterAdvTrainer(
-            model, optimizer, epsilon=epsilon, num_steps=10, **kwargs
+    key = name.strip().lower()
+    builder = _BUILDERS.get(key)
+    if builder is not None:
+        return builder(model, optimizer, epsilon, **kwargs)
+    match = _ITER_PATTERN.fullmatch(key)
+    if match and match.group("family") in _ITER_FAMILIES:
+        cls = _ITER_FAMILIES[match.group("family")]
+        return cls(
+            model,
+            optimizer,
+            epsilon=epsilon,
+            num_steps=int(match.group("steps")),
+            **kwargs,
         )
-    if name == "bim30_adv":
-        return IterAdvTrainer(
-            model, optimizer, epsilon=epsilon, num_steps=30, **kwargs
-        )
-    if name == "pgd_adv":
-        return PgdAdvTrainer(model, optimizer, epsilon=epsilon, **kwargs)
-    if name == "free_adv":
-        return FreeAdvTrainer(model, optimizer, epsilon=epsilon, **kwargs)
-    if name == "trades":
-        return TradesTrainer(model, optimizer, epsilon=epsilon, **kwargs)
-    if name == "label_smooth":
-        # Label smoothing takes no attack budget.
-        return LabelSmoothingTrainer(model, optimizer, **kwargs)
     raise KeyError(
-        f"unknown defense {name!r}; choose from "
-        f"{DEFENSE_NAMES + EXTENSION_NAMES}"
+        f"unknown defense {name!r}; choose from {defense_names()} "
+        f"(bim{{N}}_adv / pgd{{N}}_adv accept any step count)"
     )

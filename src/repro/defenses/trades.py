@@ -18,7 +18,13 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..attacks import clip_to_box, project_linf
+from ..attacks import (
+    AttackLoop,
+    BackpropGradient,
+    GradientStep,
+    LinfBoxProjection,
+    SignStep,
+)
 from ..autograd import Tensor, log_softmax, softmax
 from ..data.loader import Batch
 from ..nn import Module, cross_entropy
@@ -98,19 +104,29 @@ class TradesTrainer(Trainer):
 
     # ------------------------------------------------------------------
     def _maximise_kl(self, x: np.ndarray, clean_logits: np.ndarray):
-        """Inner loop: find x_adv maximising KL(f(x_adv) || f(x))."""
+        """Inner loop: find x_adv maximising KL(f(x_adv) || f(x)).
+
+        Runs on the attack engine: a BIM-shaped composition whose objective
+        is KL(clean || adv) — the direction used by the reference TRADES
+        implementation (torch ``kl_div(log_softmax(adv), softmax(clean))``)
+        — instead of cross-entropy, so labels are ignored entirely.
+        """
         clean = Tensor(clean_logits)
-        x_adv = ensure_float_array(x, copy=True)
-        for _ in range(self.num_steps):
-            x_tensor = Tensor(x_adv, requires_grad=True)
-            adv_logits = self.model(x_tensor)
-            # KL(clean || adv): the direction used by the reference TRADES
-            # implementation (torch kl_div(log_softmax(adv), softmax(clean))).
-            kl = kl_divergence(clean, adv_logits)
-            kl.backward()
-            x_adv = x_adv + self.step_size * np.sign(x_tensor.grad)
-            x_adv = clip_to_box(project_linf(x_adv, x, self.epsilon))
-        return x_adv
+        loop = AttackLoop(
+            self.model,
+            GradientStep(
+                BackpropGradient(
+                    self.model,
+                    lambda adv_logits, _y: kl_divergence(clean, adv_logits),
+                ),
+                SignStep(self.step_size),
+                LinfBoxProjection(self.epsilon),
+            ),
+            num_steps=self.num_steps,
+        )
+        # Labels are unused by the KL objective; pass placeholder zeros.
+        y_unused = np.zeros(len(x), dtype=np.int64)
+        return loop.run(x, y_unused, start=ensure_float_array(x, copy=True))
 
     def compute_batch_loss(self, batch: Batch) -> Tensor:
         """Natural CE plus beta-weighted KL consistency term."""

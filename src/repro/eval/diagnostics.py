@@ -18,7 +18,7 @@ from typing import List
 
 import numpy as np
 
-from ..attacks import BIM, FGSM, RandomNoise
+from ..attacks import build_attack
 from ..nn import Module
 from .robustness import clean_accuracy, robust_accuracy
 
@@ -79,22 +79,24 @@ def gradient_masking_report(
     """Run the masking checks against ``model`` at budget ``epsilon``."""
     clean = clean_accuracy(model, x, y, batch_size=batch_size)
     fgsm = robust_accuracy(
-        model, FGSM(model, epsilon), x, y, batch_size=batch_size
+        model, build_attack("fgsm", model, epsilon=epsilon), x, y,
+        batch_size=batch_size,
     )
     bim = robust_accuracy(
         model,
-        BIM(model, epsilon, num_steps=num_steps),
+        build_attack("bim", model, epsilon=epsilon, num_steps=num_steps),
         x,
         y,
         batch_size=batch_size,
     )
     noise = robust_accuracy(
-        model, RandomNoise(model, epsilon, rng=rng), x, y,
+        model, build_attack("noise", model, epsilon=epsilon, rng=rng), x, y,
         batch_size=batch_size,
     )
     sweep = [
         robust_accuracy(
-            model, FGSM(model, eps), x, y, batch_size=batch_size
+            model, build_attack("fgsm", model, epsilon=eps), x, y,
+            batch_size=batch_size,
         )
         for eps in (epsilon * 0.5, epsilon, epsilon * 2.0)
     ]

@@ -17,7 +17,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..attacks import BIM, Attack
+from ..attacks import (
+    Attack,
+    build_attack,
+    canonical_attack_name,
+    parse_attack_spec,
+)
 from ..nn import Module
 from .metrics import accuracy
 
@@ -73,16 +78,21 @@ def attack_iteration_sweep(
     epsilon: float,
     iteration_counts: Sequence[int],
     batch_size: int = 256,
+    attack: str = "bim",
 ) -> Dict[int, float]:
     """Figure 1 protocol: accuracy vs ``N`` with ``step = epsilon / N``.
 
-    Returns ``{N: accuracy}`` for each requested iteration count.
+    ``attack`` is any registry spec whose class takes ``num_steps``
+    (default BIM, the paper's protocol).  Returns ``{N: accuracy}`` for
+    each requested iteration count.
     """
     results: Dict[int, float] = {}
     for n in iteration_counts:
-        attack = BIM(model, epsilon, num_steps=int(n))
+        built = build_attack(
+            attack, model, epsilon=epsilon, num_steps=int(n)
+        )
         results[int(n)] = robust_accuracy(
-            model, attack, x, y, batch_size=batch_size
+            model, built, x, y, batch_size=batch_size
         )
     return results
 
@@ -101,7 +111,7 @@ def intermediate_iterate_curve(
     iterations with fixed per-step size ``epsilon / num_steps``.
     """
     model.eval()
-    attack = BIM(model, epsilon, num_steps=num_steps)
+    attack = build_attack("bim", model, epsilon=epsilon, num_steps=num_steps)
     x = np.asarray(x)
     y = np.asarray(y)
     correct = np.zeros(num_steps, dtype=np.int64)
@@ -152,16 +162,35 @@ class RobustnessEvaluator:
         return results
 
     @classmethod
+    def from_specs(
+        cls,
+        specs: Sequence[str],
+        epsilon: Optional[float] = None,
+        batch_size: int = 256,
+    ) -> "RobustnessEvaluator":
+        """Build a suite from attack-registry spec strings.
+
+        Each spec (``"fgsm"``, ``"bim:num_steps=30"``, ``"original"`` for
+        clean accuracy, ...) becomes one column keyed by the spec string
+        itself; ``epsilon`` supplies the budget for specs that need one
+        and do not set it explicitly.
+        """
+        builders: Dict[str, Callable[[Module], Optional[Attack]]] = {}
+        for spec in specs:
+            parsed = parse_attack_spec(spec)
+            canonical_attack_name(parsed.name)  # fail fast on unknown names
+            builders[str(spec)] = (
+                lambda model, _parsed=parsed: build_attack(
+                    _parsed, model, epsilon=epsilon
+                )
+            )
+        return cls(builders, batch_size=batch_size)
+
+    @classmethod
     def paper_suite(cls, epsilon: float, batch_size: int = 256) -> "RobustnessEvaluator":
         """The Table I attack columns: clean, FGSM, BIM(10), BIM(30)."""
-        from ..attacks import FGSM
-
-        return cls(
-            {
-                "original": lambda model: None,
-                "fgsm": lambda model: FGSM(model, epsilon),
-                "bim10": lambda model: BIM(model, epsilon, num_steps=10),
-                "bim30": lambda model: BIM(model, epsilon, num_steps=30),
-            },
+        return cls.from_specs(
+            ("original", "fgsm", "bim10", "bim30"),
+            epsilon=epsilon,
             batch_size=batch_size,
         )

@@ -9,15 +9,26 @@ victim on examples crafted against a surrogate.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
-from ..attacks import Attack
+from ..attacks import Attack, AttackSpec, build_attack
 from ..nn import Module
 from .metrics import accuracy
 
 __all__ = ["transfer_accuracy", "transfer_matrix"]
+
+
+def _resolve_builder(
+    attack_builder: Union[str, AttackSpec, Callable[[Module], Attack]],
+    epsilon: Optional[float],
+) -> Callable[[Module], Attack]:
+    """Accept a registry spec string alongside the classic callable form."""
+    if isinstance(attack_builder, (str, AttackSpec)):
+        spec = attack_builder
+        return lambda model: build_attack(spec, model, epsilon=epsilon)
+    return attack_builder
 
 
 def transfer_accuracy(
@@ -46,22 +57,26 @@ def transfer_accuracy(
 
 def transfer_matrix(
     models: Dict[str, Module],
-    attack_builder: Callable[[Module], Attack],
+    attack_builder: Union[str, AttackSpec, Callable[[Module], Attack]],
     x: np.ndarray,
     y: np.ndarray,
     batch_size: int = 256,
+    epsilon: Optional[float] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Full source x target transfer grid.
 
-    ``result[source][target]`` is the accuracy of ``target`` on examples
-    crafted against ``source``.  The diagonal is the usual white-box robust
-    accuracy.
+    ``attack_builder`` is either a factory ``model -> Attack`` or an
+    attack-registry spec string (``"bim:num_steps=10"``), in which case
+    ``epsilon`` supplies the budget.  ``result[source][target]`` is the
+    accuracy of ``target`` on examples crafted against ``source``.  The
+    diagonal is the usual white-box robust accuracy.
     """
     if not models:
         raise ValueError("transfer matrix needs at least one model")
+    builder = _resolve_builder(attack_builder, epsilon)
     result: Dict[str, Dict[str, float]] = {}
     for source_name, source in models.items():
-        attack = attack_builder(source)
+        attack = builder(source)
         row: Dict[str, float] = {}
         x_adv_batches = []
         for start in range(0, len(x), batch_size):

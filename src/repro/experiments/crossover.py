@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from ..attacks import BIM
+from ..attacks import build_attack
 from ..eval import format_table, robust_accuracy
 from ..utils.serialization import save_json
 from .config import ExperimentConfig
@@ -102,7 +102,9 @@ def run_crossover_study(
         )
         for method in methods:
             defense = pool.get(method)
-            attack = BIM(defense.model, eps, num_steps=attack_steps)
+            attack = build_attack(
+                "bim", defense.model, epsilon=eps, num_steps=attack_steps
+            )
             accuracy = robust_accuracy(
                 defense.model,
                 attack,

@@ -1,0 +1,168 @@
+"""Tests for the canonical attack registry and spec grammar."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    BIM,
+    FGSM,
+    MIM,
+    PGD,
+    PGDL2,
+    AttackSpec,
+    DeepFool,
+    RandomNoise,
+    attack_names,
+    build_attack,
+    canonical_attack_name,
+    parse_attack_spec,
+)
+from repro.attacks.losses import margin_loss
+from repro.models import mnist_mlp
+
+
+@pytest.fixture(scope="module")
+def model():
+    return mnist_mlp(seed=0)
+
+
+class TestParse:
+    def test_bare_name(self):
+        spec = parse_attack_spec("fgsm")
+        assert spec == AttackSpec("fgsm", {})
+
+    def test_params_coerced(self):
+        spec = parse_attack_spec(
+            "pgd:num_steps=10,step_size=0.05,random_start=true,rng=none"
+        )
+        assert spec.name == "pgd"
+        assert spec.params == {
+            "num_steps": 10,
+            "step_size": 0.05,
+            "random_start": True,
+            "rng": None,
+        }
+        assert isinstance(spec.params["num_steps"], int)
+        assert isinstance(spec.params["step_size"], float)
+
+    def test_alias_expansion(self):
+        assert parse_attack_spec("bim10") == AttackSpec(
+            "bim", {"num_steps": 10}
+        )
+        assert parse_attack_spec("bim30") == AttackSpec(
+            "bim", {"num_steps": 30}
+        )
+        assert parse_attack_spec("pgdl2").name == "pgd_l2"
+        assert parse_attack_spec("random_noise").name == "noise"
+
+    def test_spec_params_override_alias_params(self):
+        spec = parse_attack_spec("bim10:num_steps=7")
+        assert spec.params["num_steps"] == 7
+
+    def test_case_and_whitespace(self):
+        assert parse_attack_spec("  FGSM  ").name == "fgsm"
+
+    def test_render_round_trips(self):
+        spec = parse_attack_spec("pgd:rng=3,num_steps=10")
+        assert parse_attack_spec(spec.render()) == spec
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_attack_spec("bim:numsteps")
+        with pytest.raises(ValueError, match="non-empty"):
+            parse_attack_spec("")
+        with pytest.raises(ValueError, match="non-empty"):
+            parse_attack_spec(None)
+
+    def test_passthrough(self):
+        spec = AttackSpec("bim", {"num_steps": 4})
+        assert parse_attack_spec(spec) is spec
+
+
+class TestCanonicalNames:
+    def test_known_names(self):
+        assert canonical_attack_name("bim10") == "bim"
+        assert canonical_attack_name("PGDL2") == "pgd_l2"
+        assert canonical_attack_name("fgsm") == "fgsm"
+        for clean in ("clean", "none", "original"):
+            assert canonical_attack_name(clean) == "clean"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown attack"):
+            canonical_attack_name("cw")
+
+    def test_attack_names_sorted_canonical(self):
+        names = attack_names()
+        assert names == tuple(sorted(names))
+        assert "bim" in names and "bim10" not in names
+
+
+class TestBuild:
+    @pytest.mark.parametrize(
+        "spec,cls",
+        [
+            ("fgsm", FGSM),
+            ("bim", BIM),
+            ("pgd", PGD),
+            ("pgd_l2", PGDL2),
+            ("pgdl2", PGDL2),
+            ("mim", MIM),
+            ("noise", RandomNoise),
+            ("random_noise", RandomNoise),
+        ],
+    )
+    def test_builds_expected_class(self, model, spec, cls):
+        attack = build_attack(spec, model, epsilon=0.25)
+        assert type(attack) is cls
+        assert attack.epsilon == 0.25
+
+    def test_clean_specs_build_none(self, model):
+        for spec in ("clean", "none", "original"):
+            assert build_attack(spec, model, epsilon=0.25) is None
+
+    def test_alias_step_counts(self, model):
+        assert build_attack("bim10", model, epsilon=0.25).num_steps == 10
+        assert build_attack("bim30", model, epsilon=0.25).num_steps == 30
+
+    def test_spec_epsilon_overrides_keyword(self, model):
+        attack = build_attack("bim:epsilon=0.1", model, epsilon=0.25)
+        assert attack.epsilon == 0.1
+
+    def test_missing_epsilon_rejected(self, model):
+        with pytest.raises(ValueError, match="needs an epsilon"):
+            build_attack("bim", model)
+
+    def test_deepfool_needs_no_epsilon(self, model):
+        attack = build_attack("deepfool:max_steps=5", model)
+        assert type(attack) is DeepFool
+        assert attack.max_steps == 5
+        # A supplied experiment-wide epsilon is simply ignored.
+        assert type(build_attack("deepfool", model, epsilon=0.25)) is DeepFool
+
+    def test_overrides_yield_to_spec_params(self, model):
+        attack = build_attack(
+            "bim:num_steps=3", model, epsilon=0.25, num_steps=7
+        )
+        assert attack.num_steps == 3
+
+    def test_loss_fn_override(self, model):
+        attack = build_attack(
+            "fgsm", model, epsilon=0.25, loss_fn=margin_loss
+        )
+        assert attack.loss_fn is margin_loss
+
+    def test_unknown_attack(self, model):
+        with pytest.raises(KeyError, match="unknown attack"):
+            build_attack("cw", model, epsilon=0.25)
+
+    def test_built_attack_runs(self, model, digits_small):
+        train, _test = digits_small
+        x, y = train.arrays()
+        x = np.asarray(x, dtype=np.float64)[:8]
+        y = np.asarray(y)[:8]
+        attack = build_attack(
+            "pgd:num_steps=2,rng=0", model, epsilon=0.25
+        )
+        x_adv = attack.generate(x, y)
+        assert x_adv.shape == x.shape
+        assert np.all(np.abs(x_adv - x) <= 0.25 + 1e-12)

@@ -60,3 +60,115 @@ class TestBuildTrainer:
             "proposed", mnist_mlp(seed=0), epsilon=0.2, reset_interval=7
         )
         assert trainer.reset_interval == 7
+
+
+class TestIterAdvPattern:
+    """``bim{N}_adv`` / ``pgd{N}_adv`` resolve for ANY step count."""
+
+    def test_arbitrary_bim_steps(self):
+        trainer = build_trainer("bim7_adv", mnist_mlp(seed=0), epsilon=0.2)
+        assert type(trainer) is IterAdvTrainer
+        assert trainer.num_steps == 7
+
+    def test_arbitrary_pgd_steps(self):
+        from repro.defenses import PgdAdvTrainer
+
+        trainer = build_trainer("pgd5_adv", mnist_mlp(seed=0), epsilon=0.2)
+        assert type(trainer) is PgdAdvTrainer
+        assert trainer.num_steps == 5
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError, match="unknown defense"):
+            build_trainer("cw9_adv", mnist_mlp(seed=0), epsilon=0.2)
+
+
+class TestCanonicalNamesAndShim:
+    def test_defense_names(self):
+        from repro.defenses import defense_names
+        from repro.defenses.registry import (
+            EXTENSION_DEFENSES,
+            PAPER_DEFENSES,
+        )
+
+        assert defense_names(include_extensions=False) == PAPER_DEFENSES
+        assert defense_names() == PAPER_DEFENSES + EXTENSION_DEFENSES
+
+    def test_every_canonical_name_builds(self):
+        from repro.defenses import defense_names
+
+        for name in defense_names():
+            build_trainer(name, mnist_mlp(seed=0), epsilon=0.2)
+
+    def test_deprecated_constants_warn_but_resolve(self):
+        import importlib
+
+        import repro.defenses as defenses
+        from repro.defenses.registry import (
+            EXTENSION_DEFENSES,
+            PAPER_DEFENSES,
+        )
+
+        with pytest.warns(DeprecationWarning, match="DEFENSE_NAMES"):
+            assert defenses.DEFENSE_NAMES == PAPER_DEFENSES
+        with pytest.warns(DeprecationWarning, match="EXTENSION_NAMES"):
+            assert defenses.EXTENSION_NAMES == EXTENSION_DEFENSES
+        registry = importlib.import_module("repro.defenses.registry")
+        with pytest.warns(DeprecationWarning):
+            assert registry.DEFENSE_NAMES == PAPER_DEFENSES
+
+    def test_old_row_names_still_resolve(self):
+        """The pre-registry names keep building the same trainer types."""
+        old_rows = {
+            "vanilla": Trainer,
+            "fgsm_adv": FgsmAdvTrainer,
+            "atda": AtdaTrainer,
+            "proposed": EpochwiseAdvTrainer,
+            "bim10_adv": IterAdvTrainer,
+            "bim30_adv": IterAdvTrainer,
+        }
+        for name, cls in old_rows.items():
+            assert type(
+                build_trainer(name, mnist_mlp(seed=0), epsilon=0.2)
+            ) is cls
+
+
+class TestTrainingAttackSpecs:
+    """The defense trainers resolve their attacks via the attack registry."""
+
+    def test_iter_adv_attack_comes_from_registry(self):
+        from repro.attacks import BIM
+
+        trainer = build_trainer("bim10_adv", mnist_mlp(seed=0), epsilon=0.2)
+        attack = trainer.make_attack()
+        assert type(attack) is BIM
+        assert attack.num_steps == 10
+        assert attack.epsilon == 0.2
+
+    def test_mixed_trainer_accepts_spec_strings(self):
+        from repro.attacks import MIM
+        from repro.defenses import FgsmAdvTrainer
+
+        model = mnist_mlp(seed=0)
+        trainer = FgsmAdvTrainer(
+            model,
+            Adam(model.parameters(), lr=1e-3),
+            epsilon=0.2,
+            attack_spec="mim:num_steps=3",
+        )
+        attack = trainer.make_attack()
+        assert type(attack) is MIM
+        assert attack.num_steps == 3
+        assert attack.epsilon == 0.2
+
+    def test_clean_spec_rejected(self):
+        from repro.defenses import FgsmAdvTrainer
+
+        model = mnist_mlp(seed=0)
+        trainer = FgsmAdvTrainer(
+            model,
+            Adam(model.parameters(), lr=1e-3),
+            epsilon=0.2,
+            attack_spec="clean",
+        )
+        with pytest.raises(ValueError, match="real attack"):
+            trainer.make_attack()

@@ -126,3 +126,28 @@ class TestEvaluator:
             trained_mlp, x, y
         )
         assert res["original"] >= res["fgsm"] >= res["bim10"] - 0.02
+
+
+class TestFromSpecs:
+    def test_spec_suite_keys_and_values(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        suite = RobustnessEvaluator.from_specs(
+            ("original", "fgsm", "bim:num_steps=3"), epsilon=0.2
+        )
+        results = suite.evaluate(trained_mlp, x, y)
+        assert set(results) == {"original", "fgsm", "bim:num_steps=3"}
+        assert all(0.0 <= v <= 1.0 for v in results.values())
+
+    def test_paper_suite_is_spec_suite(self, trained_mlp, tiny_batch):
+        x, y = tiny_batch
+        paper = RobustnessEvaluator.paper_suite(0.2).evaluate(
+            trained_mlp, x, y
+        )
+        specs = RobustnessEvaluator.from_specs(
+            ("original", "fgsm", "bim10", "bim30"), epsilon=0.2
+        ).evaluate(trained_mlp, x, y)
+        assert paper == specs
+
+    def test_unknown_spec_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown attack"):
+            RobustnessEvaluator.from_specs(("cw",), epsilon=0.2)
