@@ -15,6 +15,9 @@ The package is organised bottom-up:
 * :mod:`repro.eval` — robustness metrics and measurement protocols.
 * :mod:`repro.experiments` — runners for Figure 1, Figure 2, Table I and
   the design-choice ablations.
+* :mod:`repro.telemetry` — zero-dependency observability: tracing spans,
+  counters/gauges/histograms, JSONL run records and the ``repro report``
+  per-epoch timing breakdown.
 
 Quickstart::
 

@@ -52,6 +52,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from .. import telemetry as tel
 from ..autograd import Tensor, no_grad
 from ..nn import cross_entropy
 from ..runtime import ensure_float_array
@@ -542,6 +543,9 @@ class AttackLoop:
             if fooled.all():
                 break
             remaining = np.flatnonzero(~fooled)
+            if tel.enabled():
+                tel.counter("attack.loop.restarts")
+                tel.counter("attack.restart.rows", int(remaining.size))
             redo = self._run_once(
                 np.ascontiguousarray(x_orig[remaining]), y[remaining],
                 None, None,
@@ -560,6 +564,9 @@ class AttackLoop:
             x_adv = self.step_fn(x_adv, x_orig, y, state)
             if intermediates is not None:
                 intermediates.append(x_adv.copy())
+        if tel.enabled():
+            tel.counter("attack.loop.runs")
+            tel.counter("attack.loop.iterations", self.num_steps)
         return x_adv
 
     def _run_masked(self, x_orig, y, x_adv, state, intermediates):
@@ -573,9 +580,12 @@ class AttackLoop:
         workspace = get_workspace()
         n = len(x_orig)
         active = np.arange(n)
+        iterations = 0
+        retired_total = 0
         for step in range(self.num_steps):
             if active.size == 0:
                 break
+            iterations += 1
             state.step = step
             state.logits = None
             full = active.size == n
@@ -602,7 +612,12 @@ class AttackLoop:
             if done.any():
                 keep = ~done
                 x_adv[active[keep]] = stepped[keep]
+                before = active.size
                 active = active[keep]
+                if tel.enabled():
+                    retired = int(before - active.size)
+                    retired_total += retired
+                    tel.observe("attack.early_stop.retired_per_step", retired)
             else:
                 x_adv[active] = stepped
             for buffer in scratch:
@@ -610,4 +625,9 @@ class AttackLoop:
             if intermediates is not None:
                 intermediates.append(x_adv.copy())
         state.indices = None
+        if tel.enabled():
+            tel.counter("attack.loop.runs")
+            tel.counter("attack.loop.iterations", iterations)
+            tel.counter("attack.early_stop.retired", retired_total)
+            tel.counter("attack.early_stop.survivors", int(active.size))
         return x_adv

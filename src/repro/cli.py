@@ -7,8 +7,13 @@ Usage::
     python -m repro figure2 --dataset digits
     python -m repro ablate  --knob step_size
     python -m repro audit   --defense proposed
+    python -m repro table1  --telemetry run.jsonl
+    python -m repro report  run.jsonl
 
 Artefacts are printed and optionally saved as JSON via ``--save``.
+``--telemetry PATH`` records the run (spans, counters, events) as a JSONL
+run record; ``repro report PATH`` renders it into the Table-I-style
+per-epoch/per-phase timing summary.
 """
 
 from __future__ import annotations
@@ -29,14 +34,16 @@ from .experiments import (
     smoke_scale,
 )
 from .runtime import precision
+from .telemetry import capture as tel_capture
 
 __all__ = ["main", "build_parser"]
 
 
 def _config_for(args) -> "ExperimentConfig":
     dtype = getattr(args, "dtype", "") or None
+    telemetry = getattr(args, "telemetry", "") or None
     if args.scale == "paper":
-        return paper_scale(args.dataset, dtype=dtype)
+        return paper_scale(args.dataset, dtype=dtype, telemetry=telemetry)
     if args.scale == "medium":
         return paper_scale(
             args.dataset,
@@ -44,8 +51,9 @@ def _config_for(args) -> "ExperimentConfig":
             test_per_class=40,
             epochs=60,
             dtype=dtype,
+            telemetry=telemetry,
         )
-    return smoke_scale(args.dataset, dtype=dtype)
+    return smoke_scale(args.dataset, dtype=dtype, telemetry=telemetry)
 
 
 def _cmd_table1(args) -> int:
@@ -128,6 +136,33 @@ def _cmd_audit(args) -> int:
     return 1 if report.suspicious else 0
 
 
+def _cmd_report(args) -> int:
+    """Render a telemetry JSONL run record into the timing report."""
+    from .telemetry import build_report
+
+    report = build_report(args.path)
+    print(report.render(per_epoch=not args.summary))
+    if args.csv:
+        import csv
+
+        from .telemetry.report import PHASES
+
+        with open(args.csv, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["trainer", "epoch", "total_s", *[f"{p}_s" for p in PHASES],
+                 "other_s"]
+            )
+            for row in report.epochs:
+                writer.writerow(
+                    [row.trainer, row.epoch, f"{row.total:.6f}",
+                     *[f"{row.phases[p]:.6f}" for p in PHASES],
+                     f"{row.other:.6f}"]
+                )
+        print(f"per-epoch CSV written to {args.csv}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -151,6 +186,13 @@ def build_parser() -> argparse.ArgumentParser:
             default="",
             help="floating precision for the whole run "
             "(default: the ambient runtime policy, float64)",
+        )
+        p.add_argument(
+            "--telemetry",
+            default="",
+            metavar="PATH",
+            help="record the run's telemetry (spans, counters, events) as "
+            "a JSONL run record at PATH; render it with 'repro report'",
         )
 
     p_table = sub.add_parser("table1", help="regenerate Table I")
@@ -193,6 +235,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_audit.set_defaults(func=_cmd_audit)
 
+    p_report = sub.add_parser(
+        "report", help="render a telemetry JSONL run record"
+    )
+    p_report.add_argument("path", help="JSONL run record (from --telemetry)")
+    p_report.add_argument(
+        "--summary",
+        action="store_true",
+        help="omit the per-epoch table, print only per-trainer means",
+    )
+    p_report.add_argument(
+        "--csv", default="", metavar="PATH",
+        help="also write the per-epoch phase table as CSV",
+    )
+    p_report.set_defaults(func=_cmd_report)
+
     return parser
 
 
@@ -200,10 +257,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     dtype = getattr(args, "dtype", "")
+    telemetry = getattr(args, "telemetry", "")
     # Activate the requested precision for the whole dispatch so code paths
-    # outside ClassifierPool (evaluation, audits) also run in that dtype.
+    # outside ClassifierPool (evaluation, audits) also run in that dtype;
+    # likewise the telemetry capture wraps training AND evaluation so the
+    # run record covers the full artefact regeneration.
     scope = precision(dtype) if dtype else contextlib.nullcontext()
-    with scope:
+    tel_scope = (
+        tel_capture(jsonl=telemetry) if telemetry else contextlib.nullcontext()
+    )
+    with scope, tel_scope:
         return args.func(args)
 
 

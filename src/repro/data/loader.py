@@ -15,6 +15,7 @@ from typing import Iterator, NamedTuple
 
 import numpy as np
 
+from .. import telemetry as tel
 from ..runtime import compute_dtype
 from ..utils.rng import RngLike, ensure_rng
 from .dataset import Dataset
@@ -87,6 +88,9 @@ class DataLoader:
             idx = order[start : start + self.batch_size]
             if self.drop_last and len(idx) < self.batch_size:
                 return
+            if tel.enabled():
+                tel.counter("data.batches")
+                tel.counter("data.examples", len(idx))
             yield Batch(
                 x=self._examples[idx],
                 y=self._labels[idx],

@@ -17,6 +17,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .. import telemetry as tel
 from ..attacks import Attack, build_attack
 from ..autograd import Tensor
 from ..data.loader import Batch
@@ -98,7 +99,8 @@ class MixedAdversarialTrainer(Trainer):
     def adversarial_batch(self, batch: Batch) -> np.ndarray:
         """Craft adversarial examples for this batch against the current
         model state (the generator/classifier interaction of Figure 3a)."""
-        return self._ensure_attack().generate(batch.x, batch.y)
+        with tel.span("attack"):
+            return self._ensure_attack().generate(batch.x, batch.y)
 
     def compute_batch_loss(self, batch: Batch) -> Tensor:
         """Loss for one batch (see class docstring for the objective)."""

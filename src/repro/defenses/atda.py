@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from .. import telemetry as tel
 from ..attacks import FGSM
 from ..autograd import Tensor
 from ..data.loader import Batch
@@ -125,7 +126,8 @@ class AtdaTrainer(Trainer):
         """Classification + UDA + SDA loss for one batch."""
         if self.in_warmup:
             return self.loss_fn(self.model(Tensor(batch.x)), batch.y)
-        x_adv = self._attack.generate(batch.x, batch.y)
+        with tel.span("attack"):
+            x_adv = self._attack.generate(batch.x, batch.y)
 
         clean_emb = self.model.embed(Tensor(batch.x))
         adv_emb = self.model.embed(Tensor(x_adv))

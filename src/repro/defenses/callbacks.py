@@ -11,6 +11,7 @@ from __future__ import annotations
 import os
 from typing import Optional
 
+from .. import telemetry as tel
 from ..nn import Module
 from ..utils.serialization import load_state_dict, save_state_dict
 
@@ -61,18 +62,28 @@ class Checkpointer:
     def on_epoch_end(
         self, epoch: int, model: Module, metric: Optional[float] = None
     ) -> bool:
-        """Save periodic and best checkpoints; never requests a stop."""
+        """Save periodic and best checkpoints; never requests a stop.
+
+        Each save emits a ``checkpoint.saved`` telemetry event (printed by
+        verbose trainers, recorded in ``--telemetry`` run records).
+        """
         if self.every and epoch % self.every == 0:
-            save_state_dict(
-                os.path.join(self.directory, f"epoch_{epoch:04d}.npz"),
-                model.state_dict(),
+            path = os.path.join(self.directory, f"epoch_{epoch:04d}.npz")
+            save_state_dict(path, model.state_dict())
+            tel.event(
+                "checkpoint.saved", epoch=epoch, path=path, kind="periodic"
             )
+            tel.counter("checkpoint.saved")
         if self.keep_best and metric is not None and self._improved(metric):
             self.best_value = float(metric)
             self.best_epoch = epoch
-            save_state_dict(
-                os.path.join(self.directory, "best.npz"), model.state_dict()
+            path = os.path.join(self.directory, "best.npz")
+            save_state_dict(path, model.state_dict())
+            tel.event(
+                "checkpoint.saved", epoch=epoch, path=path, kind="best",
+                metric=float(metric),
             )
+            tel.counter("checkpoint.saved")
         return False
 
     def load_best(self, model: Module) -> Module:
@@ -122,7 +133,11 @@ class EarlyStopping:
     def on_epoch_end(
         self, epoch: int, model: Module, metric: Optional[float] = None
     ) -> bool:
-        """Return ``True`` when training should stop."""
+        """Return ``True`` when training should stop.
+
+        Triggering emits an ``early_stop.triggered`` telemetry event
+        (printed by verbose trainers, recorded in run records).
+        """
         if metric is None:
             return False
         if self._improved(metric):
@@ -130,4 +145,11 @@ class EarlyStopping:
             self.stale = 0
             return False
         self.stale += 1
-        return self.stale >= self.patience
+        if self.stale >= self.patience:
+            tel.event(
+                "early_stop.triggered", epoch=epoch, best=self.best_value,
+                patience=self.patience,
+            )
+            tel.counter("early_stop.triggered")
+            return True
+        return False

@@ -27,6 +27,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from .. import telemetry as tel
 from ..attacks import (
     AttackLoop,
     BackpropGradient,
@@ -142,7 +143,12 @@ class EpochwiseAdvTrainer(Trainer):
             and adv_epoch > 0
             and adv_epoch % self.reset_interval == 0
         ):
+            dropped = self.cache_size
             self.reset_cache()
+            tel.counter("epochwise.cache_resets")
+            tel.event(
+                "epochwise.cache_reset", epoch=epoch, dropped=dropped
+            )
 
     # ------------------------------------------------------------------
     def _cached_batch(self, batch: Batch) -> np.ndarray:
@@ -162,11 +168,12 @@ class EpochwiseAdvTrainer(Trainer):
 
     def adversarial_batch(self, batch: Batch) -> np.ndarray:
         """One perturbation step from the cached iterate (Figure 3b)."""
-        x_start = self._cached_batch(batch)
-        x_clean = ensure_float_array(batch.x)
-        x_adv = self._stepper.step(x_start, x_clean, batch.y)
-        self._store_batch(batch, x_adv)
-        return x_adv
+        with tel.span("attack"):
+            x_start = self._cached_batch(batch)
+            x_clean = ensure_float_array(batch.x)
+            x_adv = self._stepper.step(x_start, x_clean, batch.y)
+            self._store_batch(batch, x_adv)
+            return x_adv
 
     def compute_batch_loss(self, batch: Batch) -> Tensor:
         """Mixture of clean loss and cached-adversarial loss."""

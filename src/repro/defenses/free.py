@@ -22,6 +22,7 @@ from typing import Callable, Dict
 
 import numpy as np
 
+from .. import telemetry as tel
 from ..attacks import SignStep, clip_to_box
 from ..autograd import Tensor
 from ..data.loader import Batch
@@ -122,21 +123,30 @@ class FreeAdvTrainer(Trainer):
         self.model.train()
         self.on_epoch_start(self.epoch)
         losses = []
-        for batch in loader:
+        iterator = iter(loader)
+        while True:
+            with tel.span("data"):
+                batch = next(iterator, None)
+            if batch is None:
+                break
             delta = self._batch_delta(batch)
             x_clean = ensure_float_array(batch.x)
             for _replay in range(self.replays):
                 x_adv = clip_to_box(x_clean + delta)
                 x_tensor = Tensor(x_adv, requires_grad=True)
                 self.optimizer.zero_grad()
-                loss = self.loss_fn(self.model(x_tensor), batch.y)
-                loss.backward()
+                with tel.span("forward"):
+                    loss = self.loss_fn(self.model(x_tensor), batch.y)
+                with tel.span("backward"):
+                    loss.backward()
                 # One backward, two uses: model update ...
-                self.optimizer.step()
+                with tel.span("optimizer"):
+                    self.optimizer.step()
                 # ... and perturbation ascent (the engine's sign rule,
                 # clamped to the budget in delta space).
-                delta = delta + self._ascent(x_tensor.grad, None)
-                np.clip(delta, -self.epsilon, self.epsilon, out=delta)
+                with tel.span("attack"):
+                    delta = delta + self._ascent(x_tensor.grad, None)
+                    np.clip(delta, -self.epsilon, self.epsilon, out=delta)
                 losses.append(loss.item())
             self._store_delta(batch, delta)
         self.on_epoch_end(self.epoch)

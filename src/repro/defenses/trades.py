@@ -18,6 +18,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .. import telemetry as tel
 from ..attacks import (
     AttackLoop,
     BackpropGradient,
@@ -134,7 +135,8 @@ class TradesTrainer(Trainer):
         natural = self.loss_fn(clean_logits, batch.y)
         if self.in_warmup:
             return natural
-        x_adv = self._maximise_kl(batch.x, clean_logits.data)
+        with tel.span("attack"):
+            x_adv = self._maximise_kl(batch.x, clean_logits.data)
         adv_logits = self.model(Tensor(x_adv))
         robust = kl_divergence(clean_logits, adv_logits)
         return natural + robust * self.beta

@@ -18,10 +18,13 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from .. import telemetry as tel
 from ..autograd import Tensor
 from ..data.loader import Batch, DataLoader
 from ..nn import Module, cross_entropy
 from ..optim import LRScheduler, Optimizer
+from ..runtime.workspace import get_workspace
+from ..telemetry import ConsoleEvents
 from ..utils.timing import EpochTimer
 
 __all__ = ["TrainingHistory", "Trainer"]
@@ -108,15 +111,30 @@ class Trainer:
     # the loop
     # ------------------------------------------------------------------
     def train_epoch(self, loader: DataLoader) -> float:
-        """One pass over the loader; returns the mean batch loss."""
+        """One pass over the loader; returns the mean batch loss.
+
+        Each batch is traced through telemetry phase spans — ``data``
+        (loader fetch), ``forward`` (loss computation; adversarial
+        generation nests inside it as ``attack``), ``backward`` and
+        ``optimizer`` — which aggregate into the surrounding ``epoch``
+        span opened by :meth:`fit`.
+        """
         self.model.train()
         self.on_epoch_start(self.epoch)
         losses = []
-        for batch in loader:
+        iterator = iter(loader)
+        while True:
+            with tel.span("data"):
+                batch = next(iterator, None)
+            if batch is None:
+                break
             self.optimizer.zero_grad()
-            loss = self.compute_batch_loss(batch)
-            loss.backward()
-            self.optimizer.step()
+            with tel.span("forward"):
+                loss = self.compute_batch_loss(batch)
+            with tel.span("backward"):
+                loss.backward()
+            with tel.span("optimizer"):
+                self.optimizer.step()
             losses.append(loss.item())
         self.on_epoch_end(self.epoch)
         self.epoch += 1
@@ -158,10 +176,47 @@ class Trainer:
             raise ValueError(f"epochs must be positive, got {epochs}")
         callbacks = list(callbacks or [])
         history = TrainingHistory()
+        # Verbose fits surface rare telemetry events (checkpoints saved,
+        # early stopping) as console lines alongside the progress log.
+        events_sink = None
+        if verbose:
+            events_sink = ConsoleEvents((
+                "checkpoint.saved",
+                "early_stop.triggered",
+                "epochwise.cache_reset",
+            ))
+            tel.add_sink(events_sink)
+        try:
+            self._fit_loop(
+                loader, epochs, history, eval_fn, eval_every, callbacks,
+                verbose,
+            )
+        finally:
+            if events_sink is not None:
+                tel.remove_sink(events_sink)
+        self.model.eval()
+        return history
+
+    def _fit_loop(
+        self, loader, epochs, history, eval_fn, eval_every, callbacks, verbose
+    ) -> None:
+        # Step-parameterised trainers report their paper-style row name
+        # (bim10_adv, not iter_adv) so run records keep the rows distinct.
+        trainer_name = getattr(self, "name_with_steps", self.name)
         for local_epoch in range(epochs):
-            self.timer.begin_epoch()
-            mean_loss = self.train_epoch(loader)
-            elapsed = self.timer.end_epoch()
+            epoch_index = self.epoch
+            # The epoch span wraps exactly the EpochTimer region, so the
+            # telemetry run record reproduces Table I's time-per-epoch.
+            with tel.span(
+                "epoch", emit=True, trainer=trainer_name, epoch=epoch_index
+            ) as epoch_span:
+                self.timer.begin_epoch()
+                mean_loss = self.train_epoch(loader)
+                elapsed = self.timer.end_epoch()
+                epoch_span.note(loss=mean_loss)
+            if tel.enabled():
+                for name, value in get_workspace().telemetry_gauges().items():
+                    tel.gauge(name, value)
             history.losses.append(mean_loss)
             history.epoch_seconds.append(elapsed)
             should_eval = eval_fn is not None and (
@@ -186,5 +241,3 @@ class Trainer:
                     stop = True
             if stop:
                 break
-        self.model.eval()
-        return history

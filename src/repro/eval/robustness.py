@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry as tel
 from ..attacks import (
     Attack,
     build_attack,
@@ -147,18 +148,27 @@ class RobustnessEvaluator:
     def evaluate(
         self, model: Module, x: np.ndarray, y: np.ndarray
     ) -> Dict[str, float]:
-        """Return ``{attack_name: accuracy}``; ``None`` factories mean clean."""
+        """Return ``{attack_name: accuracy}``; ``None`` factories mean clean.
+
+        Each (model, attack) cell runs inside an emitted ``eval.cell``
+        telemetry span tagged with the attack name and the measured
+        accuracy, and counts evaluated examples into ``eval.examples``.
+        """
         results: Dict[str, float] = {}
         for name, builder in self.attack_builders.items():
-            attack = builder(model)
-            if attack is None:
-                results[name] = clean_accuracy(
-                    model, x, y, batch_size=self.batch_size
-                )
-            else:
-                results[name] = robust_accuracy(
-                    model, attack, x, y, batch_size=self.batch_size
-                )
+            with tel.span("eval.cell", emit=True, attack=name) as cell:
+                attack = builder(model)
+                if attack is None:
+                    results[name] = clean_accuracy(
+                        model, x, y, batch_size=self.batch_size
+                    )
+                else:
+                    results[name] = robust_accuracy(
+                        model, attack, x, y, batch_size=self.batch_size
+                    )
+                cell.note(accuracy=results[name])
+            if tel.enabled():
+                tel.counter("eval.examples", len(x))
         return results
 
     @classmethod

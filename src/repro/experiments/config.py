@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..data.synthetic import dataset_epsilon
 from ..runtime import precision
+from ..telemetry import capture
 
 __all__ = ["ExperimentConfig", "paper_scale", "smoke_scale"]
 
@@ -44,6 +45,10 @@ class ExperimentConfig:
     dtype:
         Floating dtype for the whole experiment (``"float32"`` or
         ``"float64"``).  ``None`` inherits the ambient runtime policy.
+    telemetry:
+        Optional JSONL path; when set, :meth:`telemetry_scope` records the
+        experiment's spans/counters/events as a run record renderable with
+        ``repro report``.  ``None`` leaves telemetry in its ambient state.
     """
 
     dataset: str = "digits"
@@ -58,6 +63,7 @@ class ExperimentConfig:
     epsilon: Optional[float] = None
     eval_batch_size: int = 256
     dtype: Optional[str] = None
+    telemetry: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.dtype is not None and self.dtype not in (
@@ -97,6 +103,16 @@ class ExperimentConfig:
         if self.dtype is None:
             return contextlib.nullcontext()
         return precision(self.dtype)
+
+    def telemetry_scope(self):
+        """Context manager recording this config's telemetry run record.
+
+        A no-op when ``telemetry`` is unset; otherwise enables telemetry
+        and streams every record to the configured JSONL path.
+        """
+        if self.telemetry is None:
+            return contextlib.nullcontext()
+        return capture(jsonl=self.telemetry)
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""

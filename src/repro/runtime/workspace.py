@@ -65,15 +65,23 @@ class Workspace:
         allocated.  The allocation-regression tests assert that a warmed
         training step acquires every buffer from the pool (``misses`` does
         not move).
+    high_water_bytes:
+        Largest number of bytes the free pool has ever held — the
+        ``workspace.pool.high_water_bytes`` telemetry gauge.
     """
 
-    __slots__ = ("_free", "hits", "misses", "max_per_key")
+    __slots__ = (
+        "_free", "hits", "misses", "max_per_key", "_cached_bytes",
+        "high_water_bytes",
+    )
 
     def __init__(self, max_per_key: int = 16) -> None:
         self._free: dict = {}
         self.hits = 0
         self.misses = 0
         self.max_per_key = int(max_per_key)
+        self._cached_bytes = 0
+        self.high_water_bytes = 0
 
     @staticmethod
     def _key(shape, dtype):
@@ -86,7 +94,9 @@ class Workspace:
         bucket = self._free.get(self._key(shape, dtype))
         if bucket:
             self.hits += 1
-            return bucket.pop()
+            buffer = bucket.pop()
+            self._cached_bytes -= buffer.nbytes
+            return buffer
         self.misses += 1
         return np.empty(shape, dtype=dtype)
 
@@ -111,12 +121,17 @@ class Workspace:
         if any(buffered is array for buffered in bucket):
             return  # guard against double release handing one buffer out twice
         bucket.append(array)
+        self._cached_bytes += array.nbytes
+        if self._cached_bytes > self.high_water_bytes:
+            self.high_water_bytes = self._cached_bytes
 
     def clear(self) -> None:
         """Drop every pooled buffer and reset the hit/miss counters."""
         self._free.clear()
         self.hits = 0
         self.misses = 0
+        self._cached_bytes = 0
+        self.high_water_bytes = 0
 
     @property
     def cached_buffers(self) -> int:
@@ -125,10 +140,22 @@ class Workspace:
 
     @property
     def cached_bytes(self) -> int:
-        """Total size in bytes of the free buffers held by the pool."""
-        return sum(
-            buf.nbytes for bucket in self._free.values() for buf in bucket
-        )
+        """Total size in bytes of the free buffers held by the pool.
+
+        Tracked incrementally on acquire/release so telemetry can read it
+        every epoch without walking the buckets.
+        """
+        return self._cached_bytes
+
+    def telemetry_gauges(self) -> dict:
+        """Pool statistics keyed by their telemetry gauge names."""
+        return {
+            "workspace.pool.hits": self.hits,
+            "workspace.pool.misses": self.misses,
+            "workspace.pool.bytes": self._cached_bytes,
+            "workspace.pool.high_water_bytes": self.high_water_bytes,
+            "workspace.pool.buffers": self.cached_buffers,
+        }
 
 
 def _default_enabled() -> bool:

@@ -1,0 +1,187 @@
+"""Pluggable telemetry sinks: in-memory, JSONL stream, console/CSV summary.
+
+A sink is any object with ``emit(record: dict)`` (and optionally
+``close()``).  Records are plain dicts with a ``"type"`` key:
+
+* ``"span"``    — a finished traced region with its child-path breakdown;
+* ``"event"``   — a discrete happening (``checkpoint.saved``, ...);
+* ``"metrics"`` — the end-of-run counter/gauge/histogram snapshot.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Sink", "InMemorySink", "JsonlSink", "ConsoleEvents", "SummarySink"]
+
+
+class Sink:
+    """Interface for telemetry consumers."""
+
+    def emit(self, record: dict) -> None:
+        """Receive one record."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (optional)."""
+
+
+class InMemorySink(Sink):
+    """Keep every record in a list — the in-process registry of a run."""
+
+    def __init__(self) -> None:
+        self.records: List[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self.records.clear()
+
+    def spans(self, name: Optional[str] = None) -> List[dict]:
+        """Span records, optionally filtered by span name."""
+        return [
+            r for r in self.records
+            if r.get("type") == "span" and (name is None or r["name"] == name)
+        ]
+
+    def events(self, name: Optional[str] = None) -> List[dict]:
+        """Event records, optionally filtered by event name."""
+        return [
+            r for r in self.records
+            if r.get("type") == "event" and (name is None or r["name"] == name)
+        ]
+
+    def metrics(self) -> Optional[dict]:
+        """The last metrics snapshot record, or ``None``."""
+        for record in reversed(self.records):
+            if record.get("type") == "metrics":
+                return record
+        return None
+
+
+class JsonlSink(Sink):
+    """Append each record as one JSON line to a file (the run record).
+
+    Accepts a path (opened/owned by the sink) or an existing text stream
+    (flushed but not closed).
+    """
+
+    def __init__(self, target) -> None:
+        if isinstance(target, (str, bytes)):
+            self._stream = open(target, "w")
+            self._owns = True
+        else:
+            self._stream = target
+            self._owns = False
+
+    def emit(self, record: dict) -> None:
+        self._stream.write(json.dumps(record, default=str) + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+
+
+class ConsoleEvents(Sink):
+    """Print selected event records as human-readable console lines.
+
+    Trainers attach this during verbose fits so rare events (checkpoints
+    saved, early stopping) surface in the progress log.
+    """
+
+    def __init__(
+        self,
+        names: Optional[Sequence[str]] = None,
+        stream=None,
+        prefix: str = "[telemetry]",
+    ) -> None:
+        self.names = tuple(names) if names is not None else None
+        self.stream = stream
+        self.prefix = prefix
+
+    def emit(self, record: dict) -> None:
+        if record.get("type") != "event":
+            return
+        if self.names is not None and record["name"] not in self.names:
+            return
+        fields = " ".join(
+            f"{key}={value}" for key, value in record.get("fields", {}).items()
+        )
+        line = f"{self.prefix} {record['name']}"
+        if fields:
+            line = f"{line} {fields}"
+        print(line, file=self.stream if self.stream is not None else sys.stdout)
+
+
+class SummarySink(Sink):
+    """Aggregate span records and render an end-of-run summary table.
+
+    On :meth:`close` the per-name aggregate (count, total seconds, mean
+    seconds) plus any captured counters are rendered to ``stream`` and/or
+    written as CSV rows to ``csv_path``.
+    """
+
+    def __init__(self, stream=None, csv_path: Optional[str] = None) -> None:
+        self.stream = stream
+        self.csv_path = csv_path
+        self._spans: Dict[str, List[float]] = {}
+        self._metrics: Optional[dict] = None
+
+    def emit(self, record: dict) -> None:
+        kind = record.get("type")
+        if kind == "span":
+            entry = self._spans.setdefault(record["name"], [0, 0.0])
+            entry[0] += 1
+            entry[1] += record.get("duration", 0.0)
+        elif kind == "metrics":
+            self._metrics = record
+
+    def rows(self) -> List[List[str]]:
+        """The summary table rows: name, count, total s, mean s."""
+        out = []
+        for name in sorted(self._spans):
+            count, total = self._spans[name]
+            out.append([
+                name, str(int(count)), f"{total:.4f}",
+                f"{total / count:.4f}" if count else "0.0000",
+            ])
+        return out
+
+    def render(self) -> str:
+        """Plain-text summary of span aggregates and counters."""
+        lines = ["telemetry summary", "span            count  total_s  mean_s"]
+        for name, count, total, mean in self.rows():
+            lines.append(f"{name:<15s} {count:>5s}  {total:>7s}  {mean:>6s}")
+        if self._metrics:
+            counters = self._metrics.get("counters", {})
+            if counters:
+                lines.append("counters:")
+                for name in sorted(counters):
+                    lines.append(f"  {name} = {counters[name]:g}")
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        if self.csv_path is not None:
+            with open(self.csv_path, "w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["span", "count", "total_s", "mean_s"])
+                writer.writerows(self.rows())
+        if self.stream is not None:
+            print(self.render(), file=self.stream)
+
+
+def load_records(path: str) -> List[dict]:
+    """Read a JSONL run record back into a list of record dicts."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -3,23 +3,33 @@
 The paper's efficiency metric is *training time per epoch* (Table I).  The
 :class:`EpochTimer` here records per-epoch durations so trainers can report
 exactly that statistic.
+
+Both timers are thin layers over :class:`repro.telemetry.Stopwatch` — the
+same ``perf_counter`` primitive telemetry spans are built on — so stopwatch
+readings and the span records emitted by instrumented trainers agree.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
+
+from ..telemetry import Stopwatch
 
 __all__ = ["Timer", "EpochTimer"]
 
 
-class Timer:
+class Timer(Stopwatch):
     """Context-manager stopwatch, reusable across start/stop cycles.
 
     ``elapsed`` holds the duration of the most recent segment; ``total``
     accumulates every completed segment, so one Timer can meter repeated
     regions (e.g. each batch of an epoch) without losing earlier segments.
+
+    Exiting the context behaves exactly like :meth:`stop`: the segment is
+    accumulated and an unbalanced exit (the timer is not running, e.g.
+    ``stop()`` was already called inside the block) raises ``RuntimeError``
+    — unless an exception is already propagating, which is never masked.
 
     Example
     -------
@@ -31,39 +41,7 @@ class Timer:
     True
     """
 
-    def __init__(self) -> None:
-        self._start: Optional[float] = None
-        self.elapsed: float = 0.0
-        self.total: float = 0.0
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        if self._start is not None:
-            self.elapsed = time.perf_counter() - self._start
-            self.total += self.elapsed
-            self._start = None
-
-    def start(self) -> None:
-        """Start (or restart) the stopwatch."""
-        self._start = time.perf_counter()
-
-    def stop(self) -> float:
-        """Stop, accumulate into ``total``, and return the segment seconds."""
-        if self._start is None:
-            raise RuntimeError("Timer.stop() called before start()")
-        self.elapsed = time.perf_counter() - self._start
-        self.total += self.elapsed
-        self._start = None
-        return self.elapsed
-
-    def reset(self) -> None:
-        """Zero the accumulated total and last-segment reading."""
-        self._start = None
-        self.elapsed = 0.0
-        self.total = 0.0
+    __slots__ = ()
 
 
 @dataclass
@@ -77,19 +55,18 @@ class EpochTimer:
     """
 
     durations: List[float] = field(default_factory=list)
-    _start: Optional[float] = None
+    _watch: Stopwatch = field(default_factory=Stopwatch, repr=False)
 
     def begin_epoch(self) -> None:
         """Mark the start of an epoch."""
-        self._start = time.perf_counter()
+        self._watch.start()
 
     def end_epoch(self) -> float:
         """Record and return the just-finished epoch's duration."""
-        if self._start is None:
+        if not self._watch.running:
             raise RuntimeError("end_epoch() called before begin_epoch()")
-        elapsed = time.perf_counter() - self._start
+        elapsed = self._watch.stop()
         self.durations.append(elapsed)
-        self._start = None
         return elapsed
 
     @property

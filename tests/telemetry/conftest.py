@@ -1,0 +1,36 @@
+"""Fixtures keeping the process-wide telemetry state clean between tests."""
+
+import pytest
+
+from repro import telemetry as tel
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Reset enabled flag, metrics and sinks around every telemetry test."""
+    previous = tel.set_enabled(False)
+    tel.reset_metrics()
+    yield
+    tel.set_enabled(previous)
+    tel.reset_metrics()
+    # A test that leaks a sink would silently pollute every later test.
+    from repro.telemetry import core
+
+    assert not core._sinks, f"test leaked sinks: {core._sinks}"
+
+
+@pytest.fixture
+def enabled():
+    """Enable telemetry for one test."""
+    tel.set_enabled(True)
+    yield
+    tel.set_enabled(False)
+
+
+@pytest.fixture
+def memory_sink():
+    """An attached InMemorySink, detached on teardown."""
+    sink = tel.InMemorySink()
+    tel.add_sink(sink)
+    yield sink
+    tel.remove_sink(sink)

@@ -1,0 +1,315 @@
+"""Tests for telemetry core: stopwatch, spans, metrics, events."""
+
+import threading
+import time
+
+import pytest
+
+from repro import telemetry as tel
+from repro.telemetry import (
+    NULL_SPAN,
+    Histogram,
+    MetricsRegistry,
+    Stopwatch,
+    current_span,
+)
+
+
+class TestStopwatch:
+    def test_segments_accumulate(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            watch.start()
+            time.sleep(0.002)
+            watch.stop()
+        assert watch.total >= 0.006
+        assert watch.elapsed <= watch.total
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError, match="before start"):
+            Stopwatch().stop()
+
+    def test_unbalanced_exit_raises(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with watch:
+                watch.stop()  # consumes the running segment
+
+    def test_exit_never_masks_exceptions(self):
+        watch = Stopwatch()
+        with pytest.raises(KeyError):
+            with watch:
+                watch.stop()
+                raise KeyError("original")
+
+    def test_running_flag(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.001)
+        watch.reset()
+        assert watch.total == 0.0
+        assert watch.elapsed == 0.0
+
+
+class TestSpanNesting:
+    def test_child_duration_folds_into_parent(self, enabled):
+        with tel.span("outer") as outer:
+            with tel.span("inner"):
+                time.sleep(0.003)
+        assert "inner" in outer.children
+        count, total = outer.children["inner"]
+        assert count == 1
+        assert total >= 0.003
+        assert outer.duration >= total
+
+    def test_grandchildren_fold_with_slash_paths(self, enabled):
+        with tel.span("epoch") as epoch:
+            with tel.span("forward"):
+                with tel.span("attack"):
+                    time.sleep(0.002)
+        assert set(epoch.children) == {"forward", "forward/attack"}
+        assert epoch.children["forward/attack"][1] >= 0.002
+
+    def test_repeated_children_accumulate(self, enabled):
+        with tel.span("epoch") as epoch:
+            for _ in range(4):
+                with tel.span("forward"):
+                    pass
+        assert epoch.children["forward"][0] == 4
+
+    def test_self_seconds_excludes_direct_children(self, enabled):
+        with tel.span("outer") as outer:
+            with tel.span("inner"):
+                time.sleep(0.004)
+        assert outer.self_seconds == pytest.approx(
+            outer.duration - outer.children["inner"][1]
+        )
+        assert outer.self_seconds < outer.duration
+
+    def test_current_span_tracks_stack(self, enabled):
+        assert current_span() is None
+        with tel.span("a") as a:
+            assert current_span() is a
+            with tel.span("b") as b:
+                assert current_span() is b
+            assert current_span() is a
+        assert current_span() is None
+
+    def test_note_attaches_attrs(self, enabled):
+        with tel.span("epoch", trainer="vanilla") as s:
+            s.note(loss=0.25)
+        record = s.to_record()
+        assert record["attrs"] == {"trainer": "vanilla", "loss": 0.25}
+
+    def test_root_span_emits_nested_does_not(self, enabled, memory_sink):
+        with tel.span("root"):
+            with tel.span("child"):
+                pass
+        names = [r["name"] for r in memory_sink.spans()]
+        assert names == ["root"]
+
+    def test_emit_true_forces_nested_record(self, enabled, memory_sink):
+        with tel.span("root"):
+            with tel.span("epoch", emit=True):
+                pass
+        names = [r["name"] for r in memory_sink.spans()]
+        assert names == ["epoch", "root"]
+
+    def test_emit_false_silences_root(self, enabled, memory_sink):
+        with tel.span("root", emit=False):
+            pass
+        assert memory_sink.spans() == []
+
+    def test_to_record_shape(self, enabled):
+        with tel.span("epoch", trainer="x") as s:
+            with tel.span("forward"):
+                pass
+        record = s.to_record()
+        assert record["type"] == "span"
+        assert record["name"] == "epoch"
+        assert record["duration"] == s.duration
+        assert record["children"]["forward"]["count"] == 1
+
+    def test_thread_local_stacks(self, enabled):
+        """Spans on another thread must not fold into this thread's span."""
+        results = {}
+
+        def worker():
+            tel.set_enabled(True)
+            with tel.span("worker-root") as s:
+                with tel.span("worker-child"):
+                    pass
+            results["children"] = dict(s.children)
+            results["current_after"] = current_span()
+
+        with tel.span("main-root") as main_span:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert results["children"] == {"worker-child": [1, pytest.approx(
+            results["children"]["worker-child"][1])]}
+        assert results["current_after"] is None
+        assert "worker-root" not in main_span.children
+        assert "worker-child" not in main_span.children
+
+
+class TestDisabledMode:
+    def test_span_returns_shared_null_singleton(self):
+        assert not tel.enabled()
+        assert tel.span("anything") is NULL_SPAN
+        assert tel.span("other", emit=True, attr=1) is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with tel.span("x") as s:
+            s.note(loss=1.0)
+        assert s is NULL_SPAN
+        assert s.duration == 0.0
+        assert s.attrs == {}
+
+    def test_metrics_are_noops(self):
+        tel.counter("c")
+        tel.gauge("g", 5.0)
+        tel.observe("h", 1.0)
+        snapshot = tel.get_metrics().snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_set_enabled_returns_previous(self):
+        assert tel.set_enabled(True) is False
+        assert tel.set_enabled(False) is True
+
+    def test_enabled_flag_is_thread_local(self, enabled):
+        seen = {}
+
+        def worker():
+            seen["enabled"] = tel.enabled()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        # The worker thread starts from the REPRO_TELEMETRY default (off in
+        # the test environment), not from this thread's enabled flag.
+        assert seen["enabled"] is False
+        assert tel.enabled() is True
+
+
+class TestMetrics:
+    def test_counter_math(self, enabled):
+        tel.counter("n")
+        tel.counter("n")
+        tel.counter("n", 3)
+        assert tel.get_metrics().snapshot()["counters"]["n"] == 5.0
+
+    def test_gauge_keeps_latest(self, enabled):
+        tel.gauge("bytes", 10)
+        tel.gauge("bytes", 7)
+        assert tel.get_metrics().snapshot()["gauges"]["bytes"] == 7.0
+
+    def test_histogram_math(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 6.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 9.0
+        assert hist.min == 1.0
+        assert hist.max == 6.0
+        assert hist.mean == 3.0
+
+    def test_empty_histogram_dict(self):
+        assert Histogram().to_dict() == {
+            "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+    def test_observe_feeds_registry(self, enabled):
+        tel.observe("retired", 4)
+        tel.observe("retired", 8)
+        summary = tel.get_metrics().snapshot()["histograms"]["retired"]
+        assert summary["count"] == 2
+        assert summary["mean"] == 6.0
+
+    def test_reset_clears_everything(self, enabled):
+        tel.counter("a")
+        tel.gauge("b", 1)
+        tel.observe("c", 1)
+        tel.reset_metrics()
+        assert tel.get_metrics().snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_registry_is_thread_safe(self):
+        registry = MetricsRegistry()
+
+        def worker():
+            for _ in range(1000):
+                registry.inc("n")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.snapshot()["counters"]["n"] == 4000.0
+
+
+class TestEvents:
+    def test_event_dispatches_to_sinks(self, memory_sink):
+        tel.event("checkpoint.saved", epoch=3, path="x.npz")
+        events = memory_sink.events("checkpoint.saved")
+        assert len(events) == 1
+        assert events[0]["fields"] == {"epoch": 3, "path": "x.npz"}
+
+    def test_event_bypasses_enabled_flag(self, memory_sink):
+        assert not tel.enabled()
+        tel.event("early_stop.triggered", epoch=1)
+        assert memory_sink.events("early_stop.triggered")
+
+    def test_event_without_sinks_is_noop(self):
+        tel.event("nobody.listening")  # must not raise
+
+
+class TestCapture:
+    def test_capture_enables_and_restores(self):
+        assert not tel.enabled()
+        with tel.capture():
+            assert tel.enabled()
+        assert not tel.enabled()
+
+    def test_capture_emits_metrics_snapshot(self):
+        sink = tel.InMemorySink()
+        with tel.capture(sink=sink):
+            tel.counter("runs")
+        metrics = sink.metrics()
+        assert metrics is not None
+        assert metrics["counters"]["runs"] == 1.0
+
+    def test_capture_resets_metrics_by_default(self):
+        tel.set_enabled(True)
+        tel.counter("stale")
+        tel.set_enabled(False)
+        sink = tel.InMemorySink()
+        with tel.capture(sink=sink):
+            pass
+        assert "stale" not in sink.metrics()["counters"]
+
+    def test_capture_reset_false_keeps_metrics(self):
+        tel.set_enabled(True)
+        tel.counter("kept")
+        tel.set_enabled(False)
+        sink = tel.InMemorySink()
+        with tel.capture(sink=sink, reset=False):
+            pass
+        assert sink.metrics()["counters"]["kept"] == 1.0
+
+    def test_capture_detaches_sinks_on_exit(self):
+        sink = tel.InMemorySink()
+        with tel.capture(sink=sink):
+            pass
+        tel.event("after.scope")
+        assert not sink.events("after.scope")

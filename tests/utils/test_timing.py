@@ -4,6 +4,7 @@ import time
 
 import pytest
 
+from repro.telemetry import Stopwatch
 from repro.utils import EpochTimer, Timer
 
 
@@ -52,6 +53,42 @@ class TestTimer:
         t.reset()
         assert t.total == 0.0
         assert t.elapsed == 0.0
+
+    def test_is_telemetry_stopwatch(self):
+        """Timer is the telemetry Stopwatch under a compatibility name."""
+        assert issubclass(Timer, Stopwatch)
+
+    def test_unbalanced_exit_raises_like_stop(self):
+        """``__exit__`` on a stopped timer fails exactly like ``stop()``.
+
+        Regression test: ``__exit__`` used to swallow the unbalanced-exit
+        case that ``stop()`` reports, so ``with`` blocks and manual
+        start/stop disagreed about misuse.
+        """
+        t = Timer()
+        with pytest.raises(RuntimeError, match="before start"):
+            with t:
+                t.stop()  # consumes the running segment mid-block
+
+    def test_exit_does_not_mask_inflight_exception(self):
+        t = Timer()
+        with pytest.raises(ValueError, match="original"):
+            with t:
+                t.stop()
+                raise ValueError("original")
+
+    def test_exit_matches_stop_when_balanced(self):
+        by_exit = Timer()
+        by_stop = Timer()
+        with by_exit:
+            time.sleep(0.002)
+        by_stop.start()
+        time.sleep(0.002)
+        by_stop.stop()
+        assert by_exit.total > 0.0
+        assert by_stop.total > 0.0
+        assert not by_exit.running
+        assert not by_stop.running
 
 
 class TestEpochTimer:
