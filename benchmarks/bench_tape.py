@@ -1,0 +1,136 @@
+"""Microbenchmark: compiled-tape replay vs eager graph construction.
+
+The compiled autograd tape (``repro.autograd.tape``) traces one train step
+and replays it with pre-leased workspace buffers, dead-code elimination and
+fused elementwise chains.  Its payoff is dispatch overhead: in dispatch-
+bound regimes the eager engine spends a large share of each step
+re-building the graph, re-walking the topological order and re-allocating
+gradient buffers, all of which the replay path skips.
+
+``test_tape_epoch_speedup`` gates that payoff on the repo's most
+dispatch-bound training regime: epochwise-adv (the proposed defense)
+CNN epochs at batch size one — the online single-example setting where
+per-step kernel work is smallest relative to per-step engine work, and
+the regime the AttackLoop's batched early stop drives every attack toward
+as examples converge and batches shrink.  Each batch runs the compiled
+attack step plus the compiled clean/adversarial mixture step; the epoch
+must be at least 1.2x faster replayed than eager.  Correctness is pinned
+elsewhere (``tests/autograd/test_tape.py`` asserts the replay is
+bit-for-bit identical to eager); this file only gates the speed.
+
+The gate's name contains ``epoch_speedup`` so the CI benchmark smoke lane
+(which filters ``-k "not epoch_speedup"``) skips the timing-sensitive
+gate on shared runners, exactly like the PR-3 hot-path gate;
+``test_tape_replay_smoke`` below is the light exercise CI does run in
+both dtype jobs.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import save_artifact
+from repro.data import DataLoader, load_dataset
+from repro.defenses import build_trainer
+from repro.models import build_model
+from repro.optim import SGD
+from repro.runtime import compiled, compute_dtype
+
+
+def _make(batch_size):
+    train, _ = load_dataset(
+        "digits", train_per_class=20, test_per_class=1, seed=0
+    )
+    loader = DataLoader(train, batch_size=batch_size, rng=0)
+    model = build_model("small_cnn", seed=0)
+    trainer = build_trainer(
+        "proposed", model, epsilon=0.25,
+        optimizer=SGD(model.parameters(), lr=0.05),
+    )
+    return loader, trainer
+
+
+def test_tape_epoch_speedup():
+    """Replayed tapes must beat eager per-step graph construction.
+
+    Uses one persistent trainer per mode so the traced variants stay warm
+    (trace on the first epoch, replay from then on).  Two measures keep
+    the gate honest on shared/virtualised boxes:
+
+    * epochs are timed with ``time.process_time`` — both modes are pure
+      CPU compute, and CPU time is immune to hypervisor steal, which
+      wall-clock measurements on such boxes pick up as ±30% swings;
+    * each round times an eager and a compiled epoch back to back and
+      the gate is the **median of the per-round ratios**, so a speed
+      phase shift between rounds cannot skew the comparison the way a
+      global min/mean can.
+
+    The compiled epochwise-adv CNN epoch must be at least 1.2x faster
+    than the identical eager epoch; the rendered comparison is saved as
+    a results artifact.
+    """
+    rounds = 9
+    loader_e, trainer_e = _make(1)
+    loader_c, trainer_c = _make(1)
+    # Warm-up epoch per mode: BLAS threads, workspace pool, tape traces.
+    with compiled(False):
+        trainer_e.train_epoch(loader_e)
+    with compiled(True):
+        trainer_c.train_epoch(loader_c)
+    eager_times, compiled_times = [], []
+    for _ in range(rounds):
+        with compiled(False):
+            start = time.process_time()
+            trainer_e.train_epoch(loader_e)
+            eager_times.append(time.process_time() - start)
+        with compiled(True):
+            start = time.process_time()
+            trainer_c.train_epoch(loader_c)
+            compiled_times.append(time.process_time() - start)
+    ratios = [e / c for e, c in zip(eager_times, compiled_times)]
+    speedup = float(np.median(ratios))
+    t_eager = float(np.median(eager_times))
+    t_replay = float(np.median(compiled_times))
+    dtype = np.dtype(compute_dtype()).name
+    lines = [
+        f"compiled autograd tape: epochwise-adv CNN epoch, {dtype}, batch 1",
+        f"eager    (graph per step):  {t_eager * 1000:8.2f} cpu-ms/epoch"
+        " (median)",
+        f"compiled (trace + replay):  {t_replay * 1000:8.2f} cpu-ms/epoch"
+        " (median)",
+        "per-round eager/compiled: "
+        + " ".join(f"{r:.3f}" for r in ratios),
+        f"speedup (median of paired rounds): {speedup:.3f}x  (gate >= 1.2x)",
+    ]
+    text = "\n".join(lines)
+    path = save_artifact(f"tape_speedup_{dtype}.txt", text)
+    print(f"\n{text}\nsaved: {path}")
+    assert np.isfinite(speedup)
+    assert speedup >= 1.2, (
+        f"compiled tape only {speedup:.2f}x faster than eager "
+        "(expected >= 1.2x)"
+    )
+
+
+def test_tape_replay_smoke():
+    """Light CI exercise: one compiled epoch actually replays its tapes.
+
+    Runs in the CI benchmark smoke lane under both dtype policies.  Two
+    epochs of the epochwise-adv trainer with the compiled toggle on must
+    finish with finite losses, one traced variant per step and a growing
+    replay hit count — proving the tape path is live without gating on
+    wall-clock (shared runners are too noisy for that).
+    """
+    loader, trainer = _make(8)
+    with compiled(True):
+        history = trainer.fit(loader, epochs=2)
+    assert all(np.isfinite(loss) for loss in history.losses)
+    steps = trainer.__dict__.get("_compiled_steps", {})
+    assert "mixture" in steps
+    stats = steps["mixture"].stats
+    assert stats["disabled"] is None
+    assert stats["hits"] > 0
+    estimator = trainer._stepper.step_fn.estimator
+    est_stats = estimator._compiled_step().stats
+    assert est_stats["disabled"] is None
+    assert est_stats["hits"] > 0

@@ -67,6 +67,7 @@ from .ops_shape import (
     stack,
     transpose,
 )
+from .tape import CompiledStep, StepResult, TapeUnsupported
 
 __all__ = [
     "Tensor",
@@ -77,6 +78,10 @@ __all__ = [
     "set_grad_enabled",
     "check_gradients",
     "numerical_gradient",
+    # compiled tape
+    "CompiledStep",
+    "StepResult",
+    "TapeUnsupported",
     # basic
     "add",
     "sub",

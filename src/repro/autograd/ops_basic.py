@@ -62,8 +62,8 @@ class Add(Function):
     def backward(ctx, grad_output):
         a_shape, b_shape = ctx.saved
         return (
-            unbroadcast(grad_output, a_shape),
-            unbroadcast(grad_output, b_shape),
+            unbroadcast(grad_output, a_shape) if ctx.needs(0) else None,
+            unbroadcast(grad_output, b_shape) if ctx.needs(1) else None,
         )
 
 
@@ -78,8 +78,8 @@ class Sub(Function):
     def backward(ctx, grad_output):
         a_shape, b_shape = ctx.saved
         return (
-            unbroadcast(grad_output, a_shape),
-            unbroadcast(-grad_output, b_shape),
+            unbroadcast(grad_output, a_shape) if ctx.needs(0) else None,
+            unbroadcast(-grad_output, b_shape) if ctx.needs(1) else None,
         )
 
 
@@ -94,8 +94,8 @@ class Mul(Function):
     def backward(ctx, grad_output):
         a, b = ctx.saved
         return (
-            unbroadcast(grad_output * b, a.shape),
-            unbroadcast(grad_output * a, b.shape),
+            unbroadcast(grad_output * b, a.shape) if ctx.needs(0) else None,
+            unbroadcast(grad_output * a, b.shape) if ctx.needs(1) else None,
         )
 
 
@@ -110,8 +110,9 @@ class Div(Function):
     def backward(ctx, grad_output):
         a, b = ctx.saved
         return (
-            unbroadcast(grad_output / b, a.shape),
-            unbroadcast(-grad_output * a / (b * b), b.shape),
+            unbroadcast(grad_output / b, a.shape) if ctx.needs(0) else None,
+            unbroadcast(-grad_output * a / (b * b), b.shape)
+            if ctx.needs(1) else None,
         )
 
 
@@ -136,6 +137,8 @@ class Pow(Function):
     @staticmethod
     def backward(ctx, grad_output):
         a, exponent = ctx.saved
+        if not ctx.needs(0):
+            return (None, None)
         return (grad_output * exponent * a ** (exponent - 1), None)
 
 
@@ -220,8 +223,9 @@ class Maximum(Function):
     def backward(ctx, grad_output):
         mask, a_shape, b_shape = ctx.saved
         return (
-            unbroadcast(grad_output * mask, a_shape),
-            unbroadcast(grad_output * ~mask, b_shape),
+            unbroadcast(grad_output * mask, a_shape) if ctx.needs(0) else None,
+            unbroadcast(grad_output * ~mask, b_shape)
+            if ctx.needs(1) else None,
         )
 
 
@@ -237,8 +241,9 @@ class Minimum(Function):
     def backward(ctx, grad_output):
         mask, a_shape, b_shape = ctx.saved
         return (
-            unbroadcast(grad_output * mask, a_shape),
-            unbroadcast(grad_output * ~mask, b_shape),
+            unbroadcast(grad_output * mask, a_shape) if ctx.needs(0) else None,
+            unbroadcast(grad_output * ~mask, b_shape)
+            if ctx.needs(1) else None,
         )
 
 
@@ -256,8 +261,9 @@ class Where(Function):
         cond, a_shape, b_shape = ctx.saved
         return (
             None,
-            unbroadcast(grad_output * cond, a_shape),
-            unbroadcast(grad_output * ~cond, b_shape),
+            unbroadcast(grad_output * cond, a_shape) if ctx.needs(1) else None,
+            unbroadcast(grad_output * ~cond, b_shape)
+            if ctx.needs(2) else None,
         )
 
 

@@ -13,6 +13,19 @@ from ._im2col import col2im, conv_output_size, im2col
 from .engine import Function, Tensor, as_tensor, is_grad_enabled
 from .ops_reduce import logsumexp
 
+_UNBROADCAST = None
+
+
+def _unbroadcast():
+    """Lazy module-level handle on ops_basic.unbroadcast (circular import)."""
+    global _UNBROADCAST
+    if _UNBROADCAST is None:
+        from .ops_basic import unbroadcast
+
+        _UNBROADCAST = unbroadcast
+    return _UNBROADCAST
+
+
 __all__ = [
     "matmul",
     "relu",
@@ -38,12 +51,26 @@ class MatMul(Function):
     @staticmethod
     def backward(ctx, grad_output):
         a, b = ctx.saved
-        grad_a = grad_output @ np.swapaxes(b, -1, -2)
-        grad_b = np.swapaxes(a, -1, -2) @ grad_output
         # Batched matmul may broadcast leading dims; sum them back.
-        from .ops_basic import unbroadcast
-
-        return unbroadcast(grad_a, a.shape), unbroadcast(grad_b, b.shape)
+        unbroadcast = _unbroadcast()
+        grad_a = grad_b = None
+        # A length-1 contraction axis makes the GEMM an outer product: a
+        # broadcast multiply computes the identical single products (no
+        # accumulation, so bitwise equal) without BLAS packing overhead —
+        # the batch-size-1 dense backward hits this on every step.
+        if ctx.needs(0):
+            bt = np.swapaxes(b, -1, -2)
+            if b.shape[-1] == 1:
+                grad_a = unbroadcast(grad_output * bt, a.shape)
+            else:
+                grad_a = unbroadcast(grad_output @ bt, a.shape)
+        if ctx.needs(1):
+            at = np.swapaxes(a, -1, -2)
+            if a.shape[-2] == 1:
+                grad_b = unbroadcast(at * grad_output, b.shape)
+            else:
+                grad_b = unbroadcast(at @ grad_output, b.shape)
+        return grad_a, grad_b
 
 
 class ReLU(Function):
@@ -163,10 +190,18 @@ class Conv2d(Function):
         if not hotpaths_enabled():
             # Reference path (pre-overhaul kernels, timed as the baseline).
             grad_mat = grad_output.transpose(0, 2, 3, 1).reshape(-1, c_out)
-            grad_weight = (grad_mat.T @ cols).reshape(weight.shape)
-            grad_bias = grad_mat.sum(axis=0) if has_bias else None
-            grad_cols = grad_mat @ weight.reshape(c_out, -1)
-            grad_x = col2im(grad_cols, x_shape, kh, kw, stride, padding)
+            grad_weight = (
+                (grad_mat.T @ cols).reshape(weight.shape)
+                if ctx.needs(1) else None
+            )
+            grad_bias = (
+                grad_mat.sum(axis=0) if has_bias and ctx.needs(2) else None
+            )
+            if ctx.needs(0):
+                grad_cols = grad_mat @ weight.reshape(c_out, -1)
+                grad_x = col2im(grad_cols, x_shape, kh, kw, stride, padding)
+            else:
+                grad_x = None
             return grad_x, grad_weight, grad_bias
         workspace = get_workspace()
         # grad_output: (N, C_out, out_h, out_w) -> (N*out_h*out_w, C_out)
@@ -176,11 +211,13 @@ class Conv2d(Function):
         grad_mat.reshape(n_out, out_h, out_w, c_out)[...] = (
             grad_output.transpose(0, 2, 3, 1)
         )
-        grad_weight = (grad_mat.T @ cols).reshape(weight.shape)
-        grad_bias = grad_mat.sum(axis=0) if has_bias else None
+        grad_weight = (
+            (grad_mat.T @ cols).reshape(weight.shape) if ctx.needs(1) else None
+        )
+        grad_bias = grad_mat.sum(axis=0) if has_bias and ctx.needs(2) else None
         result_dtype = np.result_type(grad_mat.dtype, weight.dtype)
         n, _, h, w = x_shape
-        if not ctx.needs_input_grad[0]:
+        if not ctx.needs(0):
             # The input (e.g. a clean training batch, as opposed to an
             # attack's perturbation variable) takes no gradient: skip the
             # whole input-gradient GEMM + scatter.
@@ -308,6 +345,21 @@ class MaxPool2d(Function):
             # slots, then one strided assignment back to image layout.
             out_h, out_w = h // kernel_size, w // kernel_size
             k2 = kernel_size * kernel_size
+            if kernel_size == 2:
+                # 2x2 windows: route each gradient straight into its slot's
+                # strided view with a masked copy — same index routing as
+                # the put_along_axis scatter below, minus the slot buffer
+                # and the transpose copy back to image layout.
+                grad_x = np.zeros((n, c, h, w), dtype=grad_output.dtype)
+                view = grad_x.reshape(n, c, out_h, 2, out_w, 2)
+                mask = np.empty(argmax.shape, dtype=bool)
+                for slot, dst in enumerate((
+                    view[:, :, :, 0, :, 0], view[:, :, :, 0, :, 1],
+                    view[:, :, :, 1, :, 0], view[:, :, :, 1, :, 1],
+                )):
+                    np.equal(argmax, slot, out=mask)
+                    np.copyto(dst, grad_output, where=mask)
+                return (grad_x,)
             slots = workspace.acquire((n, c, out_h, out_w, k2),
                                       grad_output.dtype)
             slots.fill(0.0)
@@ -397,7 +449,7 @@ class DropoutMask(Function):
     @staticmethod
     def backward(ctx, grad_output):
         (mask,) = ctx.saved
-        return (grad_output * mask, None)
+        return (grad_output * mask if ctx.needs(0) else None, None)
 
 
 # ----------------------------------------------------------------------

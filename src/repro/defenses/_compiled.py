@@ -1,0 +1,89 @@
+"""Compiled train-step builders shared by the trainers.
+
+When the runtime ``compiled`` toggle is on, ``Trainer.train_epoch`` routes
+each batch through a :class:`~repro.autograd.tape.CompiledStep` built here
+instead of the eager ``compute_batch_loss`` + ``loss.backward()`` pair.
+The step functions below reproduce the eager loss expressions *exactly* —
+same op order, same dtype rules — so the traced/replayed path is
+bit-for-bit identical to eager training.
+
+Each trainer caches its steps in a lazily-created ``_compiled_steps``
+dict; a trainer subclass that overrides ``compute_batch_loss`` with its
+own objective is automatically excluded (the identity checks live in the
+trainers), so custom objectives silently keep eager semantics.
+"""
+
+from __future__ import annotations
+
+from ..autograd.tape import CompiledStep
+from ..data.loader import Batch
+
+__all__ = ["clean_batch_loss", "mixture_batch_loss"]
+
+
+def _training_guard(trainer):
+    """Invalidate compiled variants when train/eval mode flips.
+
+    The traced graph bakes in mode-dependent behaviour (e.g. dropout), so
+    the mode is part of the tape's guard signature.
+    """
+    model = trainer.model
+    return lambda: bool(getattr(model, "training", True))
+
+
+def _steps(trainer) -> dict:
+    steps = trainer.__dict__.get("_compiled_steps")
+    if steps is None:
+        steps = trainer.__dict__["_compiled_steps"] = {}
+    return steps
+
+
+def _clean_step(trainer) -> CompiledStep:
+    steps = _steps(trainer)
+    step = steps.get("clean")
+    if step is None:
+        model, loss_fn = trainer.model, trainer.loss_fn
+
+        def clean_step(x, y):
+            return loss_fn(model(x), y)
+
+        step = steps["clean"] = CompiledStep(
+            clean_step,
+            guard=_training_guard(trainer),
+            name=f"{trainer.name}.clean",
+        )
+    return step
+
+
+def _mixture_step(trainer) -> CompiledStep:
+    steps = _steps(trainer)
+    step = steps.get("mixture")
+    if step is None:
+        model, loss_fn = trainer.model, trainer.loss_fn
+        # The mixture weight is traced into the tape as a constant; it is
+        # fixed at construction time for every trainer in the repo.
+        alpha = trainer.clean_weight
+
+        def mixture_step(x_clean, x_adv, y):
+            clean_loss = loss_fn(model(x_clean), y)
+            adv_loss = loss_fn(model(x_adv), y)
+            return clean_loss * alpha + adv_loss * (1.0 - alpha)
+
+        step = steps["mixture"] = CompiledStep(
+            mixture_step,
+            guard=_training_guard(trainer),
+            name=f"{trainer.name}.mixture",
+        )
+    return step
+
+
+def clean_batch_loss(trainer, batch: Batch) -> float:
+    """Run the clean train step through the trainer's compiled tape."""
+    result = _clean_step(trainer)(batch.x, batch.y)
+    return float(result.outputs[0])
+
+
+def mixture_batch_loss(trainer, batch: Batch, x_adv) -> float:
+    """Run the clean/adversarial mixture step through the compiled tape."""
+    result = _mixture_step(trainer)(batch.x, x_adv, batch.y)
+    return float(result.outputs[0])

@@ -23,7 +23,8 @@ below BIM(k)-Adv's ``k`` — which yields Table I's timing column.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from collections.abc import Mapping
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -44,6 +45,38 @@ from ..utils.validation import check_in_unit_interval, check_positive
 from .trainer import Trainer
 
 __all__ = ["EpochwiseAdvTrainer"]
+
+
+class _ExampleCache(Mapping):
+    """Read-only dict-like view over the vectorised adversarial cache.
+
+    The trainer stores cached iterates in one dense ``(N, *example)``
+    array plus an occupancy mask (batch assembly and storage are then
+    single fancy-index operations instead of per-row dict traffic); this
+    view preserves the historical ``trainer._cache`` mapping interface
+    for tests and diagnostics.
+    """
+
+    __slots__ = ("_x", "_has")
+
+    def __init__(self, x: Optional[np.ndarray], has: Optional[np.ndarray]):
+        self._x = x
+        self._has = has
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        index = int(index)
+        has = self._has
+        if has is not None and 0 <= index < len(has) and has[index]:
+            return self._x[index]
+        raise KeyError(index)
+
+    def __iter__(self):
+        if self._has is None:
+            return iter(())
+        return iter(np.flatnonzero(self._has).tolist())
+
+    def __len__(self) -> int:
+        return 0 if self._has is None else int(self._has.sum())
 
 
 class EpochwiseAdvTrainer(Trainer):
@@ -102,8 +135,11 @@ class EpochwiseAdvTrainer(Trainer):
         check_positive("step_size", self.step_size)
         self.reset_interval = int(reset_interval)
         self.clean_weight = clean_weight
-        # dataset index -> current adversarial example (carried across epochs)
-        self._cache: Dict[int, np.ndarray] = {}
+        # dataset index -> current adversarial example (carried across
+        # epochs), stored densely: one (N, *example) array plus an
+        # occupancy mask so batch assembly is a fancy-index gather.
+        self._cache_x: Optional[np.ndarray] = None
+        self._cache_has: Optional[np.ndarray] = None
         # The paper's method IS the attack engine run with carried state:
         # the per-example cache plays the initializer role (the iterate is
         # resumed, not restarted), and each epoch applies exactly one
@@ -121,14 +157,21 @@ class EpochwiseAdvTrainer(Trainer):
         )
 
     # ------------------------------------------------------------------
+    @property
+    def _cache(self) -> _ExampleCache:
+        """Mapping view of the cache (dataset index -> cached iterate)."""
+        return _ExampleCache(self._cache_x, self._cache_has)
+
     def reset_cache(self) -> None:
         """Forget all cached adversarial examples (epoch-wise restart)."""
-        self._cache.clear()
+        self._cache_x = None
+        self._cache_has = None
 
     @property
     def cache_size(self) -> int:
         """Number of examples with a cached adversarial iterate."""
-        return len(self._cache)
+        has = self._cache_has
+        return 0 if has is None else int(has.sum())
 
     @property
     def in_warmup(self) -> bool:
@@ -151,20 +194,62 @@ class EpochwiseAdvTrainer(Trainer):
             )
 
     # ------------------------------------------------------------------
+    def _ensure_capacity(self, capacity: int, example_shape: tuple) -> None:
+        """Size the dense cache to hold dataset indices below ``capacity``."""
+        dtype = np.dtype(compute_dtype())
+        x, has = self._cache_x, self._cache_has
+        if (
+            x is not None
+            and x.dtype == dtype
+            and x.shape[1:] == tuple(example_shape)
+            and has.shape[0] >= capacity
+        ):
+            return
+        old = 0 if has is None else has.shape[0]
+        # Grow geometrically so an epoch of sequential stores stays O(N).
+        size = max(capacity, old + (old >> 2), 64)
+        new_x = np.zeros((size, *example_shape), dtype)
+        new_has = np.zeros(size, dtype=bool)
+        if has is not None and x.shape[1:] == tuple(example_shape):
+            new_x[:old] = x.astype(dtype, copy=False)
+            new_has[:old] = has
+        self._cache_x, self._cache_has = new_x, new_has
+
     def _cached_batch(self, batch: Batch) -> np.ndarray:
         """Assemble the carried-over adversarial batch (clean on first use)."""
-        rows = []
-        for row, index in enumerate(batch.indices):
-            cached = self._cache.get(int(index))
-            rows.append(cached if cached is not None else batch.x[row])
-        return ensure_float_array(np.stack(rows))
+        x_clean = ensure_float_array(batch.x)
+        has_all = self._cache_has
+        if has_all is None:
+            return x_clean.copy() if x_clean is batch.x else x_clean
+        idx = np.asarray(batch.indices, dtype=np.intp)
+        valid = idx < has_all.shape[0]
+        if valid.all():
+            has = has_all[idx]
+        else:
+            has = np.zeros(idx.shape[0], dtype=bool)
+            has[valid] = has_all[idx[valid]]
+        hits = int(has.sum())
+        if hits == 0:
+            return x_clean.copy() if x_clean is batch.x else x_clean
+        cache_x = self._cache_x
+        if hits == has.shape[0]:
+            return cache_x[idx]
+        # Mixed batch: promote exactly as stacking mixed-dtype rows would.
+        dtype = np.result_type(x_clean.dtype, cache_x.dtype)
+        out = x_clean.astype(dtype, copy=True)
+        out[has] = cache_x[idx[has]]
+        return out
 
     def _store_batch(self, batch: Batch, x_adv: np.ndarray) -> None:
         # The cross-epoch cache lives in the policy compute dtype; storing
         # anything wider would double its memory footprint for no benefit.
         x_adv = np.asarray(x_adv, dtype=compute_dtype())
-        for row, index in enumerate(batch.indices):
-            self._cache[int(index)] = x_adv[row]
+        idx = np.asarray(batch.indices, dtype=np.intp)
+        if idx.size == 0:
+            return
+        self._ensure_capacity(int(idx.max()) + 1, x_adv.shape[1:])
+        self._cache_x[idx] = x_adv
+        self._cache_has[idx] = True
 
     def adversarial_batch(self, batch: Batch) -> np.ndarray:
         """One perturbation step from the cached iterate (Figure 3b)."""
@@ -184,3 +269,18 @@ class EpochwiseAdvTrainer(Trainer):
         adv_loss = self.loss_fn(self.model(Tensor(x_adv)), batch.y)
         alpha = self.clean_weight
         return clean_loss * alpha + adv_loss * (1.0 - alpha)
+
+    def _compiled_batch(self, batch: Batch):
+        """Compiled mixture step; the single cached-iterate perturbation
+        step keeps its own path (its gradient estimator compiles too)."""
+        if (
+            type(self).compute_batch_loss
+            is not EpochwiseAdvTrainer.compute_batch_loss
+        ):
+            return None
+        from ._compiled import clean_batch_loss, mixture_batch_loss
+
+        if self.in_warmup:
+            return clean_batch_loss(self, batch)
+        x_adv = self.adversarial_batch(batch)
+        return mixture_batch_loss(self, batch, x_adv)

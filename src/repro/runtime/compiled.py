@@ -1,0 +1,61 @@
+"""Process toggle for the compiled trace-and-replay execution engine.
+
+Mirrors the ``hotpaths`` toggle in :mod:`repro.runtime.workspace`: a
+per-thread flag with a process default taken from the ``REPRO_COMPILED``
+environment variable.  When enabled, the trainers route their train step
+through :class:`repro.autograd.tape.CompiledStep` and the white-box attack
+gradient estimator replays its forward/backward from a recorded tape
+instead of rebuilding the autograd graph every call.
+
+The flag is **off by default**: the compiled engine is numerically
+bit-identical to eager execution (the equivalence suite pins that), but
+eager remains the reference semantics.  ``REPRO_COMPILED=1`` (or
+``true``/``on``/``yes``) enables it process-wide; :func:`compiled` scopes
+it for benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Iterator
+
+__all__ = ["compiled", "compiled_enabled", "set_compiled"]
+
+
+def _default_enabled() -> bool:
+    value = os.environ.get("REPRO_COMPILED", "").strip().lower()
+    return value in ("1", "true", "on", "yes")
+
+
+class _CompiledState(threading.local):
+    """Per-thread compiled-engine flag (mirrors the hot-path toggle)."""
+
+    def __init__(self) -> None:
+        self.enabled = _default_enabled()
+
+
+_state = _CompiledState()
+
+
+def compiled_enabled() -> bool:
+    """Whether the compiled tape engine is active for this thread."""
+    return _state.enabled
+
+
+def set_compiled(enabled: bool) -> bool:
+    """Enable/disable the compiled engine for this thread; returns previous."""
+    previous = _state.enabled
+    _state.enabled = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def compiled(enabled: bool) -> Iterator[None]:
+    """Scoped toggle of the compiled engine (benchmark before/after gate)."""
+    previous = set_compiled(enabled)
+    try:
+        yield
+    finally:
+        set_compiled(previous)
