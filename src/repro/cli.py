@@ -42,18 +42,19 @@ __all__ = ["main", "build_parser"]
 def _config_for(args) -> "ExperimentConfig":
     dtype = getattr(args, "dtype", "") or None
     telemetry = getattr(args, "telemetry", "") or None
+    workers = getattr(args, "workers", None) or None
+    common = dict(dtype=dtype, telemetry=telemetry, workers=workers)
     if args.scale == "paper":
-        return paper_scale(args.dataset, dtype=dtype, telemetry=telemetry)
+        return paper_scale(args.dataset, **common)
     if args.scale == "medium":
         return paper_scale(
             args.dataset,
             train_per_class=150,
             test_per_class=40,
             epochs=60,
-            dtype=dtype,
-            telemetry=telemetry,
+            **common,
         )
-    return smoke_scale(args.dataset, dtype=dtype, telemetry=telemetry)
+    return smoke_scale(args.dataset, **common)
 
 
 def _cmd_table1(args) -> int:
@@ -116,11 +117,22 @@ def _cmd_audit(args) -> int:
         args.defense, model, epsilon=config.resolved_epsilon,
         lr=config.lr, **kwargs,
     )
-    trainer.fit(
-        DataLoader(train, batch_size=config.batch_size, rng=config.seed),
-        epochs=config.epochs,
-        verbose=args.verbose,
-    )
+    if config.resolved_workers > 1:
+        from .parallel import DataParallelTrainer
+
+        trainer = DataParallelTrainer(
+            trainer, num_workers=config.resolved_workers
+        )
+    try:
+        trainer.fit(
+            DataLoader(train, batch_size=config.batch_size, rng=config.seed),
+            epochs=config.epochs,
+            verbose=args.verbose,
+        )
+    finally:
+        close = getattr(trainer, "close", None)
+        if close is not None:
+            close()
     x, y = test.arrays()
     if args.attack:
         suite = RobustnessEvaluator.from_specs(
@@ -193,6 +205,15 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="record the run's telemetry (spans, counters, events) as "
             "a JSONL run record at PATH; render it with 'repro report'",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker processes: defended classifiers train "
+            "data-parallel and sweeps run one grid cell per worker "
+            "(default: the REPRO_WORKERS environment variable, else 1)",
         )
 
     p_table = sub.add_parser("table1", help="regenerate Table I")

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..eval import RobustnessEvaluator, format_percent, format_table
+from ..parallel import parallel_map
 from ..utils.serialization import save_json
 from .config import ExperimentConfig
 from .runner import ClassifierPool
@@ -89,6 +90,36 @@ def _evaluate_variant(
     return suite.evaluate(defense.model, pool.test_x, pool.test_y)
 
 
+def _sweep_variants(
+    pool: ClassifierPool,
+    config: ExperimentConfig,
+    overrides_list: List[dict],
+) -> List[Dict[str, float]]:
+    """Train and evaluate one ablation variant per override dict.
+
+    With ``config`` resolving to more than one worker the sweep runs one
+    grid cell per worker process (:func:`repro.parallel.parallel_map`);
+    each forked cell trains its variant *serially* — its pool config is
+    forced to one worker — so grid parallelism and batch-level data
+    parallelism never nest.  Serial sweeps keep batch-level parallelism
+    available inside each cell instead.
+    """
+    workers = config.resolved_workers
+    if workers > 1 and len(overrides_list) > 1:
+
+        def cell(overrides: dict) -> Dict[str, float]:
+            # Runs only inside a forked grid worker; the mutation is
+            # child-local and prevents a nested batch-level worker pool.
+            pool.config = pool.config.with_overrides(workers=1)
+            return _evaluate_variant(pool, config, **overrides)
+
+        return parallel_map(cell, overrides_list, num_workers=workers)
+    return [
+        _evaluate_variant(pool, config, **overrides)
+        for overrides in overrides_list
+    ]
+
+
 def run_step_size_ablation(
     config: ExperimentConfig,
     pool: Optional[ClassifierPool] = None,
@@ -102,10 +133,15 @@ def run_step_size_ablation(
         epsilon=pool.epsilon,
         knob="step_size/epsilon",
     )
-    for fraction in step_fractions:
-        accuracy = _evaluate_variant(
-            pool, config, step_size=pool.epsilon * fraction
-        )
+    accuracies = _sweep_variants(
+        pool,
+        config,
+        [
+            {"step_size": pool.epsilon * fraction}
+            for fraction in step_fractions
+        ],
+    )
+    for fraction, accuracy in zip(step_fractions, accuracies):
         result.values.append(float(fraction))
         result.accuracy.append(accuracy)
         if verbose:
@@ -126,10 +162,12 @@ def run_reset_interval_ablation(
         epsilon=pool.epsilon,
         knob="reset_interval",
     )
-    for interval in reset_intervals:
-        accuracy = _evaluate_variant(
-            pool, config, reset_interval=int(interval)
-        )
+    accuracies = _sweep_variants(
+        pool,
+        config,
+        [{"reset_interval": int(interval)} for interval in reset_intervals],
+    )
+    for interval, accuracy in zip(reset_intervals, accuracies):
         result.values.append(float(interval))
         result.accuracy.append(accuracy)
         if verbose:

@@ -49,6 +49,12 @@ class ExperimentConfig:
         Optional JSONL path; when set, :meth:`telemetry_scope` records the
         experiment's spans/counters/events as a run record renderable with
         ``repro report``.  ``None`` leaves telemetry in its ambient state.
+    workers:
+        Worker processes for the experiment (``--workers`` CLI flag).
+        ``None`` defers to the ``REPRO_WORKERS`` environment variable
+        (default 1 = serial).  Above 1, defended classifiers train
+        data-parallel (:class:`~repro.parallel.DataParallelTrainer`) and
+        the figure1/ablation sweeps run one grid cell per worker.
     """
 
     dataset: str = "digits"
@@ -64,8 +70,13 @@ class ExperimentConfig:
     eval_batch_size: int = 256
     dtype: Optional[str] = None
     telemetry: Optional[str] = None
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(
+                f"workers must be >= 1, got {self.workers}"
+            )
         if self.dtype is not None and self.dtype not in (
             "float32",
             "float64",
@@ -113,6 +124,13 @@ class ExperimentConfig:
         if self.telemetry is None:
             return contextlib.nullcontext()
         return capture(jsonl=self.telemetry)
+
+    @property
+    def resolved_workers(self) -> int:
+        """The explicit worker count, else ``REPRO_WORKERS``, else 1."""
+        from ..parallel import resolve_workers
+
+        return resolve_workers(self.workers)
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""

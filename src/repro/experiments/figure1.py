@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from ..eval import attack_iteration_sweep, format_curve
+from ..parallel import parallel_map
 from ..utils.serialization import save_json
 from .config import ExperimentConfig
 from .runner import ClassifierPool
@@ -81,7 +82,7 @@ def run_figure1(
         epsilon=pool.epsilon,
         iteration_counts=[int(n) for n in iteration_counts],
     )
-    for name in FIGURE1_CLASSIFIERS:
+    def sweep_one(name: str) -> List[float]:
         defense = pool.get(name)
         sweep = attack_iteration_sweep(
             defense.model,
@@ -91,7 +92,30 @@ def run_figure1(
             result.iteration_counts,
             batch_size=config.eval_batch_size,
         )
-        result.curves[name] = [sweep[n] for n in result.iteration_counts]
+        return [sweep[n] for n in result.iteration_counts]
+
+    workers = config.resolved_workers
+    if workers > 1:
+        # One grid worker per classifier: each forked cell trains and
+        # sweeps its classifier serially (no nested batch-level pool) and
+        # ships only the curve back.  The trained models stay in the
+        # children, so the parent pool's cache is not populated — the
+        # figure artefact is the curves, not the weights.
+        def cell(name: str) -> List[float]:
+            pool.config = pool.config.with_overrides(workers=1)
+            return sweep_one(name)
+
+        curves = parallel_map(
+            cell, list(FIGURE1_CLASSIFIERS), num_workers=workers
+        )
+        for name, ys in zip(FIGURE1_CLASSIFIERS, curves):
+            result.curves[name] = ys
+            if verbose:
+                print(f"figure1[{config.dataset}] swept {name}")
+        return result
+
+    for name in FIGURE1_CLASSIFIERS:
+        result.curves[name] = sweep_one(name)
         if verbose:
             print(f"figure1[{config.dataset}] swept {name}")
     return result

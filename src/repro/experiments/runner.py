@@ -16,6 +16,7 @@ from ..data import DataLoader, load_dataset
 from ..defenses import TrainingHistory, build_trainer
 from ..models import FeatureClassifier, build_model
 from ..nn import Module
+from ..parallel import DataParallelTrainer
 from ..utils.serialization import (
     load_json,
     load_state_dict,
@@ -106,11 +107,21 @@ class ClassifierPool:
                 lr=self.config.lr,
                 **kwargs,
             )
-            history = trainer.fit(
-                self._make_loader(),
-                epochs=self.config.epochs,
-                verbose=self.verbose,
-            )
+            workers = self.config.resolved_workers
+            if workers > 1:
+                # Shard each batch across a forked worker pool; gradients
+                # are all-reduced into this process's parameters, so the
+                # trained model below is identical in ownership terms.
+                trainer = DataParallelTrainer(trainer, num_workers=workers)
+            try:
+                history = trainer.fit(
+                    self._make_loader(),
+                    epochs=self.config.epochs,
+                    verbose=self.verbose,
+                )
+            finally:
+                if isinstance(trainer, DataParallelTrainer):
+                    trainer.close()
         trained = TrainedDefense(name=name, model=model, history=history)
         if not trainer_overrides:
             self._cache[name] = trained

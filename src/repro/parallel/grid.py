@@ -1,0 +1,104 @@
+"""Parallel grid execution: one configuration per worker.
+
+The experiment sweeps (figure1 defense curves, ablation knob grids) are
+embarrassingly parallel: each grid cell trains and evaluates an independent
+classifier.  :func:`parallel_map` fans a function over the grid using a
+:class:`~repro.parallel.pool.WorkerPool` — the function and any state it
+closes over (a :class:`~repro.experiments.runner.ClassifierPool`, datasets)
+are inherited by the forked workers for free, and only the per-item inputs
+and results cross the pipes (so both must be picklable: pass knob values
+in, return accuracies/curves out, not live models).
+
+Results come back in input order and are computed exactly as the serial
+loop would compute them (same seeds, same kernels — just a different
+process), so a parallel sweep reproduces the serial sweep's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from .pool import WorkerCrash, WorkerPool, resolve_workers
+
+__all__ = ["parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    num_workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> List[R]:
+    """Apply ``fn`` to every item across forked workers; preserve order.
+
+    Parameters
+    ----------
+    fn:
+        Callable executed in the worker processes.  Inherited through
+        fork, so closures over parent state are fine; its return values
+        travel back over a pipe and must be picklable.
+    items:
+        Work items, dispatched round-robin ahead of completion so workers
+        stay busy.  Items are pickled into the control messages.
+    num_workers:
+        Worker count; ``None``/``0`` resolves ``REPRO_WORKERS`` (default 1).
+        With one worker (or one item) the map degrades to a plain serial
+        loop in the calling process.
+    timeout:
+        Optional per-item reply timeout in seconds.
+
+    A crashed worker aborts the map with :class:`WorkerCrash` — grid cells
+    are expensive and not idempotent-cheap, so the caller decides whether
+    to re-run.
+    """
+    items = list(items)
+    num_workers = resolve_workers(num_workers)
+    if num_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    num_workers = min(num_workers, len(items))
+
+    def handler(worker_id: int, message):
+        _index, item = message
+        return fn(item)
+
+    pool = WorkerPool(num_workers, handler, name="repro-grid")
+    results: List[R] = [None] * len(items)  # type: ignore[list-item]
+    try:
+        pool.start()
+        pending = list(enumerate(items))
+        in_flight = {}  # worker_id -> item index
+        cursor = 0
+        for worker_id in range(num_workers):
+            index, item = pending[cursor]
+            pool.send(worker_id, (index, item))
+            in_flight[worker_id] = index
+            cursor += 1
+        while in_flight:
+            # Round-robin poll the busy workers for the next finished cell.
+            finished = None
+            while finished is None:
+                for worker_id in list(in_flight):
+                    worker = pool._workers[worker_id]
+                    if worker.conn.poll(0.02) or not worker.process.is_alive():
+                        finished = worker_id
+                        break
+            try:
+                payload = pool.recv(finished, timeout=timeout)
+            except WorkerCrash as crash:
+                index = in_flight[finished]
+                raise WorkerCrash(
+                    finished,
+                    f"while computing grid item {index} ({items[index]!r})",
+                ) from crash
+            results[in_flight.pop(finished)] = payload
+            if cursor < len(pending):
+                index, item = pending[cursor]
+                pool.send(finished, (index, item))
+                in_flight[finished] = index
+                cursor += 1
+    finally:
+        pool.shutdown()
+    return results

@@ -1,0 +1,269 @@
+"""Persistent forked worker pool with pipe control and crash recovery.
+
+:class:`WorkerPool` forks ``num_workers`` long-lived child processes, each
+running a message loop around a ``handler(worker_id, message)`` callable.
+Because the start method is **fork**, the handler and everything it closes
+over (trainer replicas, shared-memory views, datasets) is inherited by the
+child directly — nothing is pickled except the small control messages that
+travel over each worker's pipe.
+
+Crash recovery
+--------------
+A worker that dies (killed, segfaulted, ``os._exit``) is detected by the
+parent while waiting for its reply: :meth:`recv` raises
+:class:`WorkerCrash`.  The caller decides what to do; :meth:`restart`
+re-forks a replacement from the parent's *current* state (the fork hooks
+registered by :mod:`repro.runtime.workspace` and :mod:`repro.telemetry`
+give it a fresh buffer pool and clean telemetry locks) and the caller
+re-dispatches the lost work.  Restarts are counted on the pool and, when
+telemetry is enabled, in the ``parallel.worker_restarts`` counter.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+import traceback
+from typing import Any, Callable, List, Optional
+
+from .. import telemetry as tel
+
+__all__ = ["WorkerCrash", "WorkerError", "WorkerPool", "resolve_workers"]
+
+_FORK = multiprocessing.get_context("fork")
+_STOP = "__stop__"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit value, else ``REPRO_WORKERS``, else 1.
+
+    ``None``/``0`` defer to the environment; anything below 1 after
+    resolution raises.
+    """
+    if workers in (None, 0):
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        workers = int(raw) if raw else 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died before replying."""
+
+    def __init__(self, worker_id: int, detail: str = "") -> None:
+        self.worker_id = worker_id
+        note = f" ({detail})" if detail else ""
+        super().__init__(f"worker {worker_id} died{note}")
+
+
+class WorkerError(RuntimeError):
+    """A worker's handler raised; carries the remote traceback."""
+
+    def __init__(self, worker_id: int, remote_traceback: str) -> None:
+        self.worker_id = worker_id
+        self.remote_traceback = remote_traceback
+        super().__init__(
+            f"worker {worker_id} raised:\n{remote_traceback}"
+        )
+
+
+def _worker_main(handler: Callable[[int, Any], Any], worker_id: int, conn):
+    """Child-process message loop: recv → handle → reply, until stopped."""
+    # Fork hooks already gave this process an empty workspace pool, a clean
+    # span stack and fresh telemetry locks; the loop below only has to
+    # serve messages.
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message == _STOP:
+            break
+        try:
+            reply = handler(worker_id, message)
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+        else:
+            conn.send(("ok", reply))
+    conn.close()
+
+
+class _Worker:
+    __slots__ = ("id", "process", "conn")
+
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.id = worker_id
+        self.process = process
+        self.conn = conn
+
+
+class WorkerPool:
+    """``num_workers`` persistent fork workers driven over per-worker pipes.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of child processes.
+    handler:
+        ``handler(worker_id, message) -> reply``, executed in the child.
+        Inherited through fork — closures over parent state are fine.
+    name:
+        Process-name prefix (diagnostics).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        handler: Callable[[int, Any], Any],
+        name: str = "repro-worker",
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {num_workers}"
+            )
+        self.num_workers = int(num_workers)
+        self.handler = handler
+        self.name = name
+        self.restarts = 0
+        self._workers: List[Optional[_Worker]] = [None] * self.num_workers
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, worker_id: int) -> _Worker:
+        parent_conn, child_conn = _FORK.Pipe()
+        process = _FORK.Process(
+            target=_worker_main,
+            args=(self.handler, worker_id, child_conn),
+            name=f"{self.name}-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(worker_id, process, parent_conn)
+
+    def start(self) -> "WorkerPool":
+        """Fork the workers (idempotent)."""
+        if not self._started:
+            for worker_id in range(self.num_workers):
+                self._workers[worker_id] = self._spawn(worker_id)
+            self._started = True
+        return self
+
+    @property
+    def started(self) -> bool:
+        """Whether the workers have been forked."""
+        return self._started
+
+    def restart(self, worker_id: int) -> None:
+        """Replace a dead (or wedged) worker with a fresh fork of the parent."""
+        worker = self._workers[worker_id]
+        if worker is not None:
+            if worker.process.is_alive():
+                worker.process.kill()
+            worker.process.join(timeout=5)
+            worker.conn.close()
+        self._workers[worker_id] = self._spawn(worker_id)
+        self.restarts += 1
+        tel.counter("parallel.worker_restarts")
+        tel.event("parallel.worker_restart", worker=worker_id)
+
+    def kill(self, worker_id: int) -> None:
+        """SIGKILL a worker (crash-recovery tests)."""
+        worker = self._workers[worker_id]
+        if worker is not None and worker.process.is_alive():
+            os.kill(worker.process.pid, signal.SIGKILL)
+            worker.process.join(timeout=5)
+
+    def shutdown(self) -> None:
+        """Stop every worker and reap the processes (idempotent)."""
+        if not self._started:
+            return
+        for worker in self._workers:
+            if worker is None:
+                continue
+            try:
+                if worker.process.is_alive():
+                    worker.conn.send(_STOP)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            if worker is None:
+                continue
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5)
+            worker.conn.close()
+        self._workers = [None] * self.num_workers
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(self, worker_id: int, message: Any) -> None:
+        """Dispatch one message to a worker (non-blocking)."""
+        worker = self._workers[worker_id]
+        try:
+            worker.conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrash(worker_id, str(exc)) from exc
+
+    def recv(self, worker_id: int, timeout: Optional[float] = None) -> Any:
+        """Await one reply; raises :class:`WorkerCrash` if the worker died.
+
+        Liveness is polled alongside the pipe so a SIGKILLed worker is
+        detected promptly even when other processes still hold duplicated
+        pipe ends (which would defeat EOF-based detection).
+        """
+        worker = self._workers[worker_id]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                if worker.conn.poll(0.05):
+                    reply = worker.conn.recv()
+                    break
+            except (EOFError, OSError) as exc:
+                raise WorkerCrash(worker_id, str(exc)) from exc
+            if not worker.process.is_alive():
+                # Drain any reply flushed just before death.
+                try:
+                    if worker.conn.poll(0):
+                        reply = worker.conn.recv()
+                        break
+                except (EOFError, OSError):
+                    pass
+                raise WorkerCrash(
+                    worker_id, f"exitcode={worker.process.exitcode}"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"worker {worker_id} did not reply within {timeout}s"
+                )
+        status, payload = reply
+        if status == "error":
+            raise WorkerError(worker_id, payload)
+        return payload
+
+    def call(self, worker_id: int, message: Any,
+             timeout: Optional[float] = None) -> Any:
+        """``send`` + ``recv`` in one round trip."""
+        self.send(worker_id, message)
+        return self.recv(worker_id, timeout=timeout)
+
+    def broadcast(self, message: Any) -> None:
+        """Send the same message to every worker."""
+        for worker_id in range(self.num_workers):
+            self.send(worker_id, message)
+
+    def gather(self, timeout: Optional[float] = None) -> List[Any]:
+        """Collect one reply per worker, in worker order."""
+        return [
+            self.recv(worker_id, timeout=timeout)
+            for worker_id in range(self.num_workers)
+        ]

@@ -1,0 +1,76 @@
+"""Shared-memory numpy buffers for the data-parallel engine.
+
+:class:`SharedArray` wraps one ``multiprocessing.shared_memory`` segment as
+a numpy array.  The parent process creates every segment **before** forking
+its workers, so the children inherit the mapping directly — no name lookup,
+no attach handshake, and a restarted worker (re-forked from the live
+parent) sees the current contents automatically.
+
+Ownership contract
+------------------
+The creating (parent) process owns the segment: only it calls
+:meth:`SharedArray.close` (which also unlinks the backing file).  Forked
+children treat their inherited view as borrowed and simply exit; the
+segment stays valid until the parent releases it.  A ``weakref.finalize``
+in the owner makes cleanup robust to abandoned objects, so a leaked
+trainer cannot leave segments behind in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SharedArray"]
+
+
+class SharedArray:
+    """A numpy array backed by a shared-memory segment owned by its creator.
+
+    Parameters
+    ----------
+    shape, dtype:
+        Layout of the array view.  The segment is sized exactly for it
+        (minimum one byte, since zero-length segments are not portable).
+    """
+
+    __slots__ = ("shape", "dtype", "array", "_shm", "__weakref__")
+
+    def __init__(self, shape, dtype) -> None:
+        self.shape = tuple(int(dim) for dim in shape)
+        self.dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(self.shape)) * self.dtype.itemsize)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.array: Optional[np.ndarray] = np.ndarray(
+            self.shape, dtype=self.dtype, buffer=self._shm.buf
+        )
+        self.array.fill(0)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the array view in bytes."""
+        return int(np.prod(self.shape)) * self.dtype.itemsize
+
+    def close(self) -> None:
+        """Release the segment (owner only); safe to call twice.
+
+        Drops the array view first — the memoryview export must die before
+        the mapping can be closed — then closes and unlinks the segment.
+        """
+        self.array = None
+        try:
+            self._shm.close()
+        except BufferError:  # a caller still holds a view; leave mapped
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedArray(shape={self.shape}, dtype={self.dtype.name}, "
+            f"name={self._shm.name!r})"
+        )

@@ -253,6 +253,23 @@ class _WorkspaceState(threading.local):
 _state = _WorkspaceState()
 
 
+def _reset_after_fork() -> None:
+    """Give a forked child a fresh, empty pool.
+
+    The buffers in an inherited pool are copy-on-write copies of the
+    parent's scratch memory — recycling them in the child would silently
+    double the process's resident set and break the pool's accounting
+    (hits/bytes describing buffers the child never allocated).  The
+    hot-path enabled flag is kept: it is configuration, not state.
+    """
+    _state.workspace = Workspace()
+
+
+# Worker processes (repro.parallel) are forked mid-run; never let them
+# inherit a populated pool.
+os.register_at_fork(after_in_child=_reset_after_fork)
+
+
 def get_workspace() -> Workspace:
     """The calling thread's scratch-buffer pool."""
     return _state.workspace

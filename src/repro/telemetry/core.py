@@ -447,6 +447,34 @@ def event(name: str, **fields) -> None:
 
 
 # ----------------------------------------------------------------------
+# Fork safety.
+# ----------------------------------------------------------------------
+
+def _reset_after_fork() -> None:
+    """Reset telemetry state in a freshly forked child.
+
+    A fork can happen while another thread holds the metrics or sink lock
+    — the child would inherit a lock that is never released (the owning
+    thread does not exist there), deadlocking its first counter update.
+    Both locks are therefore recreated.  The span stack is cleared (spans
+    opened in the parent will be exited there, not here), sinks are
+    detached (a child writing to the parent's JSONL file would interleave
+    records mid-line) and the metrics registry starts empty so worker
+    processes report their own deltas.  The enabled flag is configuration
+    and is inherited unchanged.
+    """
+    global _sinks_lock
+    _state.stack = []
+    _sinks_lock = threading.Lock()
+    del _sinks[:]
+    _metrics._lock = threading.Lock()
+    _metrics.reset()
+
+
+os.register_at_fork(after_in_child=_reset_after_fork)
+
+
+# ----------------------------------------------------------------------
 # Capture scope: enable + attach sinks + emit the run's metric snapshot.
 # ----------------------------------------------------------------------
 

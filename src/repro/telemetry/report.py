@@ -20,7 +20,9 @@ from .sinks import load_records
 
 __all__ = ["EpochRow", "RunReport", "build_report", "render_report"]
 
-PHASES = ("data", "attack", "forward", "backward", "optimizer", "tape")
+PHASES = (
+    "data", "attack", "forward", "backward", "optimizer", "tape", "parallel",
+)
 
 
 def _is_tape(path: str) -> bool:
@@ -107,6 +109,12 @@ class EpochRow:
             "backward": total_of("backward"),
             "optimizer": total_of("optimizer"),
             "tape": tape,
+            # Data-parallel epochs spend their whole batch step (dispatch,
+            # worker wait, gradient reduce) inside one ``parallel`` span;
+            # the per-worker phase folds nested under it use dotted leaf
+            # names (``parallel/w0.attack``) precisely so they are not
+            # double-counted into the serial attack/tape columns above.
+            "parallel": total_of("parallel"),
         }
         direct = sum(
             float(entry["total"])

@@ -27,6 +27,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["ablate", "--knob", "nope"])
 
+    def test_workers_flag(self):
+        args = build_parser().parse_args(["table1", "--workers", "4"])
+        assert args.workers == 4
+        args = build_parser().parse_args(["table1"])
+        assert args.workers is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--workers", "two"])
+
+    def test_workers_threads_into_config(self):
+        from repro.cli import _config_for
+
+        args = build_parser().parse_args(["table1", "--workers", "2"])
+        assert _config_for(args).workers == 2
+        args = build_parser().parse_args(["table1"])
+        assert _config_for(args).workers is None
+
 
 class TestSmokeRuns:
     """End-to-end CLI runs at smoke scale (slow-ish but full-path)."""
