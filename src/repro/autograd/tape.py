@@ -41,12 +41,12 @@ counter so ``repro report`` shows what happened.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Callable, NamedTuple, Optional
 
 import numpy as np
 
 from .. import telemetry as tel
+from ..utils.lru import LRUCache
 from ..runtime import (
     accum_dtype,
     compute_dtype,
@@ -1008,7 +1008,9 @@ class CompiledStep:
         self._guard = guard
         self._fuse = bool(fuse)
         self.name = name or getattr(fn, "__name__", "step")
-        self._variants: OrderedDict = OrderedDict()
+        self._variants = LRUCache(
+            self._max_variants, on_evict=self._evict_variant
+        )
         self._traces = 0
         self._hits = 0
         self._disabled: Optional[str] = None
@@ -1032,6 +1034,12 @@ class CompiledStep:
         self._traces = 0
         self._hits = 0
         self._disabled = None
+
+    @staticmethod
+    def _evict_variant(_signature, program) -> None:
+        """Capacity eviction from the variant LRU: free the pinned buffers."""
+        program.release()
+        tel.counter("tape.cache.evictions")
 
     def _disable(self, reason: str) -> None:
         for program in self._variants.values():
@@ -1111,11 +1119,7 @@ class CompiledStep:
             tel.counter("tape.unsupported")
             self._disable(str(exc))
             return self._eager_result(bound, outputs)
-        self._variants[signature] = program
-        if len(self._variants) > self._max_variants:
-            _old_sig, old_program = self._variants.popitem(last=False)
-            old_program.release()
-            tel.counter("tape.cache.evictions")
+        self._variants.put(signature, program)
         return self._eager_result(bound, outputs)
 
     # -- entry point ------------------------------------------------------
@@ -1130,7 +1134,6 @@ class CompiledStep:
         program = self._variants.get(signature)
         if program is not None:
             self._hits += 1
-            self._variants.move_to_end(signature)
             tel.counter("tape.cache.hits")
             with tel.span("tape.replay", step=self.name):
                 return program.replay(bound)

@@ -148,6 +148,74 @@ def _cmd_audit(args) -> int:
     return 1 if report.suspicious else 0
 
 
+def _cmd_serve(args) -> int:
+    """Boot the micro-batched inference + audit service (``repro serve``)."""
+    from .data import DataLoader, load_dataset
+    from .defenses import build_trainer
+    from .models import build_model
+    from .serving import InferenceService, ServingServer
+
+    config = _config_for(args)
+    model = build_model(config.model, seed=config.seed)
+    if args.checkpoint:
+        from .utils import load_state_dict
+
+        model.load_state_dict(load_state_dict(args.checkpoint))
+        print(f"loaded checkpoint {args.checkpoint}")
+    elif not args.untrained:
+        train, _test = load_dataset(
+            config.dataset,
+            train_per_class=config.train_per_class,
+            test_per_class=config.test_per_class,
+            seed=config.seed,
+        )
+        kwargs = {} if args.defense == "vanilla" else {
+            "warmup_epochs": config.warmup_epochs
+        }
+        trainer = build_trainer(
+            args.defense, model, epsilon=config.resolved_epsilon,
+            lr=config.lr, **kwargs,
+        )
+        print(
+            f"training {config.model} with defense {args.defense!r} "
+            f"({config.epochs} epochs at {args.scale} scale)..."
+        )
+        trainer.fit(
+            DataLoader(train, batch_size=config.batch_size, rng=config.seed),
+            epochs=config.epochs,
+            verbose=args.verbose,
+        )
+    service = InferenceService(
+        model,
+        max_batch_size=args.max_batch_size,
+        max_wait_us=args.max_wait_us,
+        queue_depth=args.queue_depth,
+        timeout_s=args.timeout_s,
+        cache_size=args.cache_size,
+        use_tape=True if args.compiled else None,
+        epsilon=config.resolved_epsilon,
+        name=config.model,
+    )
+    server = ServingServer(
+        (args.host, args.port), service, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving {config.model} on http://{host}:{port}  "
+        f"(batch<= {args.max_batch_size}, wait<= {args.max_wait_us}us, "
+        f"queue<= {args.queue_depth}, cache {args.cache_size})"
+    )
+    print("endpoints: POST /classify  POST /audit  GET /healthz  GET /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down (draining in-flight requests)...")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
 def _cmd_report(args) -> int:
     """Render a telemetry JSONL run record into the timing report."""
     from .telemetry import build_report
@@ -255,6 +323,55 @@ def build_parser() -> argparse.ArgumentParser:
         "default: the Table I suite (original, fgsm, bim10, bim30)",
     )
     p_audit.set_defaults(func=_cmd_audit)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve classify/audit over HTTP with micro-batching",
+    )
+    add_common(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 picks an ephemeral port, printed at startup)",
+    )
+    p_serve.add_argument(
+        "--defense", default="vanilla",
+        help="defense registry name to train the served model with",
+    )
+    p_serve.add_argument(
+        "--checkpoint", default="",
+        metavar="PATH",
+        help="serve weights from a saved state dict instead of training",
+    )
+    p_serve.add_argument(
+        "--untrained", action="store_true",
+        help="skip training entirely (demo/load-testing the serving path)",
+    )
+    p_serve.add_argument(
+        "--max-batch-size", type=int, default=32, metavar="N",
+        help="micro-batch coalescing bound (1 = no coalescing)",
+    )
+    p_serve.add_argument(
+        "--max-wait-us", type=int, default=2000, metavar="US",
+        help="how long an open batch waits for more requests",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=256, metavar="N",
+        help="admission bound; beyond it requests are shed with 429",
+    )
+    p_serve.add_argument(
+        "--timeout-s", type=float, default=30.0, metavar="S",
+        help="default per-request deadline (maps to 504 when missed)",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=4096, metavar="N",
+        help="prediction-cache entries (0 disables caching)",
+    )
+    p_serve.add_argument(
+        "--compiled", action="store_true",
+        help="serve forwards as compiled-tape replays (static shapes)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_report = sub.add_parser(
         "report", help="render a telemetry JSONL run record"

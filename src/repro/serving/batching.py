@@ -1,0 +1,299 @@
+"""Micro-batching request queue with admission control and backpressure.
+
+The serving hot path is dominated by per-call dispatch: a single-example
+forward pass through the CNN costs almost as much engine overhead as a
+32-example one, so coalescing concurrent single-example requests into one
+batched forward amortises that overhead across the batch (Kurakin et al.'s
+batched-execution lever, applied to inference).  :class:`MicroBatcher`
+implements the standard coalescing window:
+
+* the first request of a batch is dequeued blockingly;
+* further requests are admitted until the batch reaches
+  ``max_batch_size`` **or** ``max_wait_us`` has elapsed since the batch
+  opened — whichever comes first;
+* the whole batch runs through one ``run_batch`` call on a dedicated
+  worker thread, and each request's :class:`~concurrent.futures.Future`
+  is resolved with its example's result.
+
+Overload degrades gracefully instead of collapsing:
+
+* the queue is **bounded** (``queue_depth``); once full, new submissions
+  are shed immediately with :class:`QueueFullError` (HTTP 429) rather
+  than piling up latency for everyone;
+* callers wait with a deadline — :meth:`MicroBatcher.run` maps a missed
+  deadline to :class:`RequestTimeout` (HTTP 504);
+* :meth:`MicroBatcher.close` stops admissions (:class:`ServiceClosed`,
+  HTTP 503) but drains every already-admitted request before the worker
+  exits, so in-flight work completes on graceful shutdown.
+
+Metrics are recorded straight into the process-wide registry (bypassing
+the thread-local enabled flag) so the ``metrics`` endpoint is always live:
+``serving.*`` counters, queue-depth gauge, and batch-size / batch-latency
+histograms with streaming p50/p90/p99.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Callable, List, Optional, Sequence
+
+from .. import telemetry as tel
+
+__all__ = [
+    "ServingError",
+    "QueueFullError",
+    "RequestTimeout",
+    "ServiceClosed",
+    "MicroBatcher",
+]
+
+
+class ServingError(RuntimeError):
+    """Base class for serving-layer request failures.
+
+    ``code`` is the documented machine-readable error string clients can
+    dispatch on; ``status`` is the matching HTTP status code.
+    """
+
+    code = "error"
+    status = 500
+
+
+class QueueFullError(ServingError):
+    """The bounded request queue is full; the request was shed."""
+
+    code = "overloaded"
+    status = 429
+
+
+class RequestTimeout(ServingError):
+    """The request missed its deadline while queued or executing."""
+
+    code = "timeout"
+    status = 504
+
+
+class ServiceClosed(ServingError):
+    """The service is shutting down and no longer admits requests."""
+
+    code = "shutting_down"
+    status = 503
+
+
+#: Queue marker telling the worker to drain out and exit.
+_SENTINEL = object()
+
+
+class MicroBatcher:
+    """Coalesce single-payload requests into batched ``run_batch`` calls.
+
+    Parameters
+    ----------
+    run_batch:
+        ``callable(payloads) -> results`` executed on the worker thread;
+        must return one result per payload, in order.
+    max_batch_size:
+        Upper bound on coalesced batch size (1 disables coalescing — the
+        single-request-at-a-time baseline the throughput gate compares
+        against).
+    max_wait_us:
+        How long an open batch waits for more requests, in microseconds.
+        The clock starts when the batch's first request is dequeued, so an
+        idle service adds no latency at all to a lone request.
+    queue_depth:
+        Bound on admitted-but-unprocessed requests; beyond it submissions
+        fail fast with :class:`QueueFullError`.
+    name:
+        Label used in metric names and the worker thread name.
+    """
+
+    def __init__(
+        self,
+        run_batch: Callable[[Sequence[object]], Sequence[object]],
+        *,
+        max_batch_size: int = 32,
+        max_wait_us: int = 2000,
+        queue_depth: int = 256,
+        name: str = "classify",
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be at least 1, got {max_batch_size}"
+            )
+        if queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be at least 1, got {queue_depth}"
+            )
+        if max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {max_wait_us}")
+        self._run_batch = run_batch
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = max_wait_us / 1e6
+        self.queue_depth = int(queue_depth)
+        self.name = name
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._closed = threading.Event()
+        self._draining = False  # worker-private: sentinel seen mid-batch
+        self._metrics = tel.get_metrics()
+        self._batches = 0
+        self._requests = 0
+        self._shed = 0
+        self._worker = threading.Thread(
+            target=self._loop, name=f"repro-serve-{name}", daemon=True
+        )
+        self._worker.start()
+
+    # -- submission ------------------------------------------------------
+    def submit(self, payload) -> Future:
+        """Admit one request; returns the future carrying its result.
+
+        Raises :class:`ServiceClosed` after :meth:`close` and
+        :class:`QueueFullError` when the bounded queue is full.
+        """
+        if self._closed.is_set():
+            raise ServiceClosed(f"{self.name}: batcher is shut down")
+        future: Future = Future()
+        try:
+            self._queue.put_nowait((payload, future))
+        except queue.Full:
+            self._shed += 1
+            self._metrics.inc(f"serving.{self.name}.shed")
+            raise QueueFullError(
+                f"{self.name}: request queue is full "
+                f"(depth {self.queue_depth}); request shed"
+            ) from None
+        self._requests += 1
+        self._metrics.set_gauge(
+            f"serving.{self.name}.queue_depth", self._queue.qsize()
+        )
+        return future
+
+    def run(self, payload, timeout: Optional[float] = None):
+        """Submit and wait for the result with an optional deadline.
+
+        A missed deadline raises :class:`RequestTimeout`.  The request is
+        *not* recalled from the queue — its batch still executes — so a
+        timeout bounds the caller's wait, not the server's work.
+        """
+        future = self.submit(payload)
+        try:
+            return future.result(timeout)
+        except FutureTimeout:
+            raise RequestTimeout(
+                f"{self.name}: no result within {timeout:.3f}s"
+            ) from None
+
+    # -- worker ----------------------------------------------------------
+    def _collect(self, first) -> List:
+        """Grow a batch from ``first`` until full or the window closes."""
+        batch = [first]
+        if self.max_batch_size == 1:
+            return batch
+        deadline = time.monotonic() + self.max_wait_s
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # Window closed: take whatever is already queued, but do
+                # not wait for more.
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+            else:
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+            if item is _SENTINEL:
+                # Everything admitted before close() is ahead of the
+                # marker in FIFO order, so this batch is the last one;
+                # flag the outer loop instead of re-queueing (a re-put
+                # could block the worker on its own full queue).
+                self._draining = True
+                break
+            batch.append(item)
+        return batch
+
+    def _execute(self, batch) -> None:
+        started = time.perf_counter()
+        payloads = [payload for payload, _future in batch]
+        try:
+            results = self._run_batch(payloads)
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"{self.name}: run_batch returned {len(results)} "
+                    f"results for {len(batch)} payloads"
+                )
+        except BaseException as exc:  # noqa: BLE001 - routed to callers
+            self._metrics.inc(f"serving.{self.name}.batch_errors")
+            for _payload, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_payload, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self._batches += 1
+        self._metrics.inc(f"serving.{self.name}.batches")
+        self._metrics.observe(f"serving.{self.name}.batch_size", len(batch))
+        self._metrics.observe(
+            f"serving.{self.name}.batch_latency_ms", elapsed_ms
+        )
+
+    def _loop(self) -> None:
+        while not self._draining:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                break
+            self._execute(self._collect(item))
+        # Anything still queued arrived after close() raced past the
+        # closed check; fail those requests explicitly rather than
+        # leaving their futures pending forever.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                continue
+            _payload, future = item
+            if not future.done():
+                future.set_exception(
+                    ServiceClosed(f"{self.name}: batcher is shut down")
+                )
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: stop admissions, drain, join the worker.
+
+        Every request admitted before the call completes normally; later
+        submissions raise :class:`ServiceClosed`.  Idempotent.
+        """
+        if not self._closed.is_set():
+            self._closed.set()
+            # The queue is bounded and admissions are closed, so a
+            # blocking put can only wait for the draining worker.
+            self._queue.put(_SENTINEL)
+        self._worker.join(timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    @property
+    def stats(self) -> dict:
+        """Admission/batch counters for diagnostics and ``metrics``."""
+        return {
+            "requests": self._requests,
+            "batches": self._batches,
+            "shed": self._shed,
+            "queue_depth": self._queue.qsize(),
+            "max_batch_size": self.max_batch_size,
+            "max_wait_us": int(round(self.max_wait_s * 1e6)),
+            "closed": self.closed,
+        }

@@ -216,10 +216,17 @@ class RunReport:
             lines.append("histograms:")
             for name in sorted(histograms):
                 h = histograms[name]
-                lines.append(
+                line = (
                     f"  {name}: count={h['count']} mean={h['mean']:.3f} "
                     f"min={h['min']:g} max={h['max']:g}"
                 )
+                # Older run records predate the streaming quantiles.
+                if "p50" in h:
+                    line += (
+                        f" p50={h['p50']:.3f} p90={h['p90']:.3f} "
+                        f"p99={h['p99']:.3f}"
+                    )
+                lines.append(line)
         return "\n".join(lines)
 
     def render(self, per_epoch: bool = True) -> str:

@@ -1,5 +1,6 @@
 """Shared utilities: RNG management, timing, serialization, validation."""
 
+from .lru import LRUCache
 from .rng import ensure_rng, make_rng, spawn_rngs
 from .serialization import (
     load_json,
@@ -19,6 +20,7 @@ from .validation import (
 )
 
 __all__ = [
+    "LRUCache",
     "ensure_rng",
     "make_rng",
     "spawn_rngs",

@@ -1,0 +1,156 @@
+"""HTTP endpoint tests: routing, payloads, and error-status mapping."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.serving import (
+    InferenceService,
+    QueueFullError,
+    ServiceClosed,
+    start_server,
+)
+
+_RNG = np.random.default_rng(3)
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One shared server for the module: (base_url, service, server)."""
+    service = InferenceService(
+        build_model("small_cnn", seed=0),
+        max_batch_size=8, max_wait_us=500, cache_size=64,
+        use_tape=False, name="small_cnn",
+    )
+    server = start_server(service, host="127.0.0.1", port=0)
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", service, server
+    server.shutdown_gracefully()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post_error(url, payload) -> urllib.error.HTTPError:
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(url, payload)
+    return excinfo.value
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        base, service, _server = served
+        status, payload = _get(f"{base}/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["signature"] == service.signature
+
+    def test_classify_single(self, served):
+        base, _service, _server = served
+        x = _RNG.random(784).tolist()
+        status, payload = _post(f"{base}/classify", {"input": x})
+        assert status == 200
+        prediction = payload["prediction"]
+        assert 0 <= prediction["label"] < 10
+        assert len(prediction["probs"]) == 10
+        # Same bytes again: served from the prediction cache, identically.
+        _status, again = _post(f"{base}/classify", {"input": x})
+        assert again["prediction"]["cached"] is True
+        assert again["prediction"]["probs"] == prediction["probs"]
+
+    def test_classify_batch(self, served):
+        base, _service, _server = served
+        xs = _RNG.random((5, 784)).tolist()
+        status, payload = _post(f"{base}/classify", {"inputs": xs})
+        assert status == 200
+        assert len(payload["predictions"]) == 5
+
+    def test_audit(self, served):
+        base, _service, _server = served
+        xs = _RNG.random((6, 784)).tolist()
+        status, payload = _post(
+            f"{base}/audit",
+            {"attack": "fgsm", "inputs": xs, "labels": [0, 1, 2, 3, 4, 5],
+             "epsilon": 0.1},
+        )
+        assert status == 200
+        assert "fgsm" in payload["robust_accuracy"]
+
+    def test_metrics_exposes_quantile_histograms(self, served):
+        base, _service, _server = served
+        _post(f"{base}/classify", {"input": _RNG.random(784).tolist()})
+        status, payload = _get(f"{base}/metrics")
+        assert status == 200
+        histograms = payload["metrics"]["histograms"]
+        latency = histograms["serving.request_latency_ms"]
+        assert {"count", "mean", "p50", "p90", "p99"} <= set(latency)
+        assert payload["batcher"]["requests"] >= 1
+        assert "cache" in payload
+
+
+class TestErrorMapping:
+    def test_unknown_route_404(self, served):
+        base, _service, _server = served
+        error = _post_error(f"{base}/nope", {"input": []})
+        assert error.code == 404
+
+    def test_malformed_payload_400(self, served):
+        base, _service, _server = served
+        assert _post_error(f"{base}/classify", {}).code == 400
+        assert _post_error(
+            f"{base}/classify", {"input": [1.0, 2.0]}
+        ).code == 400
+        assert _post_error(
+            f"{base}/audit", {"attack": "fgsm"}
+        ).code == 400
+
+    def test_unknown_attack_spec_400(self, served):
+        base, _service, _server = served
+        error = _post_error(
+            f"{base}/audit",
+            {"attack": "definitely_not_an_attack",
+             "inputs": [[0.0] * 784], "labels": [0]},
+        )
+        assert error.code == 400
+
+    def test_overload_maps_to_429(self, served, monkeypatch):
+        base, service, _server = served
+
+        def shed(*args, **kwargs):
+            raise QueueFullError("request queue is full; request shed")
+
+        monkeypatch.setattr(service, "classify", shed)
+        error = _post_error(
+            f"{base}/classify", {"input": [0.0] * 784}
+        )
+        assert error.code == 429
+        assert json.loads(error.read())["error"] == "overloaded"
+
+    def test_shutdown_maps_to_503(self, served, monkeypatch):
+        base, service, _server = served
+
+        def closed(*args, **kwargs):
+            raise ServiceClosed("batcher is shut down")
+
+        monkeypatch.setattr(service, "classify", closed)
+        error = _post_error(
+            f"{base}/classify", {"input": [0.0] * 784}
+        )
+        assert error.code == 503
+        assert json.loads(error.read())["error"] == "shutting_down"

@@ -225,7 +225,44 @@ class TestMetrics:
     def test_empty_histogram_dict(self):
         assert Histogram().to_dict() == {
             "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p90": 0.0, "p99": 0.0,
         }
+
+    def test_quantile_estimates_bracket_exact_percentiles(self):
+        hist = Histogram()
+        for value in range(1, 1001):  # 1..1000, uniform
+            hist.observe(float(value))
+        # Log-spaced buckets (8 per decade) bound the relative error.
+        assert hist.quantile(0.5) == pytest.approx(500.0, rel=0.35)
+        assert hist.quantile(0.9) == pytest.approx(900.0, rel=0.35)
+        assert hist.quantile(0.99) == pytest.approx(990.0, rel=0.35)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 1000.0
+
+    def test_quantile_exact_at_min_max_and_validates_range(self):
+        hist = Histogram()
+        assert hist.quantile(0.5) == 0.0  # empty
+        hist.observe(3.0)
+        assert hist.quantile(0.0) == 3.0
+        assert hist.quantile(1.0) == 3.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_quantile_handles_zero_and_negative_observations(self):
+        hist = Histogram()
+        for value in (-5.0, 0.0, 2.0):
+            hist.observe(value)
+        assert hist.min == -5.0
+        q = hist.quantile(0.01)
+        assert -5.0 <= q <= 2.0
+
+    def test_to_dict_percentiles_ordered(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 4.0, 8.0, 100.0):
+            hist.observe(value)
+        summary = hist.to_dict()
+        assert summary["min"] <= summary["p50"] <= summary["p90"]
+        assert summary["p90"] <= summary["p99"] <= summary["max"]
 
     def test_observe_feeds_registry(self, enabled):
         tel.observe("retired", 4)

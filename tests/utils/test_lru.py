@@ -1,0 +1,122 @@
+"""Unit tests for the shared bounded LRU cache."""
+
+import pytest
+
+from repro.utils import LRUCache
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_get_miss_returns_default(self):
+        cache = LRUCache(2)
+        assert cache.get("nope") is None
+        assert cache.get("nope", default=7) == 7
+
+    def test_put_updates_existing_value(self):
+        cache = LRUCache(2)
+        cache.put("k", 1)
+        cache.put("k", 2)
+        assert cache.get("k") == 2
+        assert len(cache) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_pop_and_clear(self):
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.pop("a") == 1
+        assert cache.pop("a", default="gone") == "gone"
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestEviction:
+    def test_lru_order_evicts_oldest(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert "a" not in cache
+        assert cache.peek("b") == 2
+        assert cache.peek("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")      # "b" is now least recently used
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_peek_does_not_refresh_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.peek("a")     # "a" stays least recently used
+        cache.put("c", 3)
+        assert "a" not in cache
+
+    def test_eviction_callback_fires_with_key_and_value(self):
+        evicted = []
+        cache = LRUCache(1, on_evict=lambda k, v: evicted.append((k, v)))
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert evicted == [("a", 1)]
+
+    def test_pop_and_clear_skip_the_callback(self):
+        evicted = []
+        cache = LRUCache(2, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.pop("a")
+        cache.clear()
+        assert evicted == []
+
+    def test_values_and_items_are_lru_ordered(self):
+        cache = LRUCache(3)
+        for key, value in (("a", 1), ("b", 2), ("c", 3)):
+            cache.put(key, value)
+        cache.get("a")
+        assert list(cache.values()) == [2, 3, 1]
+        assert list(cache.items()) == [("b", 2), ("c", 3), ("a", 1)]
+
+
+class TestCounters:
+    def test_hits_and_misses_counted(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("zzz")
+        assert cache.stats == {
+            "hits": 2, "misses": 1, "size": 1, "capacity": 2,
+        }
+
+    def test_peek_and_contains_do_not_count(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.peek("a")
+        _ = "a" in cache
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_reset_stats_keeps_entries(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.reset_stats()
+        assert cache.stats == {
+            "hits": 0, "misses": 0, "size": 1, "capacity": 2,
+        }
+        assert cache.peek("a") == 1
