@@ -43,7 +43,14 @@ def _config_for(args) -> "ExperimentConfig":
     dtype = getattr(args, "dtype", "") or None
     telemetry = getattr(args, "telemetry", "") or None
     workers = getattr(args, "workers", None) or None
-    common = dict(dtype=dtype, telemetry=telemetry, workers=workers)
+    common = dict(
+        dtype=dtype,
+        telemetry=telemetry,
+        workers=workers,
+        stream=bool(getattr(args, "stream", False)),
+        shard_size=getattr(args, "shard_size", None) or None,
+        data_budget_mb=getattr(args, "data_budget_mb", None) or None,
+    )
     if args.scale == "paper":
         return paper_scale(args.dataset, **common)
     if args.scale == "medium":
@@ -55,6 +62,65 @@ def _config_for(args) -> "ExperimentConfig":
             **common,
         )
     return smoke_scale(args.dataset, **common)
+
+
+def _training_setup(config):
+    """Build ``(train_loader, test_set)`` honouring the streaming flags.
+
+    The single place the CLI subcommands that train directly (audit,
+    serve) decide between the in-memory path and the streaming pipeline;
+    the experiment runners make the same decision inside
+    :class:`~repro.experiments.ClassifierPool`.
+    """
+    from .data import (
+        DataLoader,
+        SyntheticSource,
+        load_dataset,
+        load_test_split,
+    )
+    from .data.synthetic import dataset_num_classes
+
+    if config.stream:
+        source = SyntheticSource(
+            config.dataset,
+            num_examples=(
+                dataset_num_classes(config.dataset) * config.train_per_class
+            ),
+            shard_size=config.resolved_shard_size,
+            seed=config.seed,
+        )
+        loader = DataLoader(
+            source,
+            batch_size=config.batch_size,
+            rng=config.seed,
+            budget_bytes=config.budget_bytes,
+        )
+        test = load_test_split(
+            config.dataset,
+            test_per_class=config.test_per_class,
+            seed=config.seed,
+        )
+        return loader, test
+    train, test = load_dataset(
+        config.dataset,
+        train_per_class=config.train_per_class,
+        test_per_class=config.test_per_class,
+        seed=config.seed,
+    )
+    loader = DataLoader(
+        train, batch_size=config.batch_size, rng=config.seed
+    )
+    return loader, test
+
+
+def _defense_kwargs(config, defense: str) -> dict:
+    if defense == "vanilla":
+        return {}
+    kwargs = {"warmup_epochs": config.warmup_epochs}
+    if defense == "proposed" and config.budget_bytes is not None:
+        kwargs["delta_budget_bytes"] = config.budget_bytes
+        kwargs["delta_block_size"] = config.resolved_shard_size
+    return kwargs
 
 
 def _cmd_table1(args) -> int:
@@ -97,25 +163,16 @@ def _cmd_ablate(args) -> int:
 
 def _cmd_audit(args) -> int:
     """Train one defense and run the gradient-masking diagnostics on it."""
-    from .data import DataLoader, load_dataset
     from .defenses import build_trainer
     from .eval import RobustnessEvaluator, gradient_masking_report
     from .models import build_model
 
     config = _config_for(args)
-    train, test = load_dataset(
-        config.dataset,
-        train_per_class=config.train_per_class,
-        test_per_class=config.test_per_class,
-        seed=config.seed,
-    )
+    loader, test = _training_setup(config)
     model = build_model(config.model, seed=config.seed)
-    kwargs = {} if args.defense == "vanilla" else {
-        "warmup_epochs": config.warmup_epochs
-    }
     trainer = build_trainer(
         args.defense, model, epsilon=config.resolved_epsilon,
-        lr=config.lr, **kwargs,
+        lr=config.lr, **_defense_kwargs(config, args.defense),
     )
     if config.resolved_workers > 1:
         from .parallel import DataParallelTrainer
@@ -125,7 +182,7 @@ def _cmd_audit(args) -> int:
         )
     try:
         trainer.fit(
-            DataLoader(train, batch_size=config.batch_size, rng=config.seed),
+            loader,
             epochs=config.epochs,
             verbose=args.verbose,
         )
@@ -150,7 +207,6 @@ def _cmd_audit(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Boot the micro-batched inference + audit service (``repro serve``)."""
-    from .data import DataLoader, load_dataset
     from .defenses import build_trainer
     from .models import build_model
     from .serving import InferenceService, ServingServer
@@ -163,25 +219,17 @@ def _cmd_serve(args) -> int:
         model.load_state_dict(load_state_dict(args.checkpoint))
         print(f"loaded checkpoint {args.checkpoint}")
     elif not args.untrained:
-        train, _test = load_dataset(
-            config.dataset,
-            train_per_class=config.train_per_class,
-            test_per_class=config.test_per_class,
-            seed=config.seed,
-        )
-        kwargs = {} if args.defense == "vanilla" else {
-            "warmup_epochs": config.warmup_epochs
-        }
+        loader, _test = _training_setup(config)
         trainer = build_trainer(
             args.defense, model, epsilon=config.resolved_epsilon,
-            lr=config.lr, **kwargs,
+            lr=config.lr, **_defense_kwargs(config, args.defense),
         )
         print(
             f"training {config.model} with defense {args.defense!r} "
             f"({config.epochs} epochs at {args.scale} scale)..."
         )
         trainer.fit(
-            DataLoader(train, batch_size=config.batch_size, rng=config.seed),
+            loader,
             epochs=config.epochs,
             verbose=args.verbose,
         )
@@ -282,6 +330,29 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes: defended classifiers train "
             "data-parallel and sweeps run one grid cell per worker "
             "(default: the REPRO_WORKERS environment variable, else 1)",
+        )
+        p.add_argument(
+            "--stream",
+            action="store_true",
+            help="train from a streaming shard source that regenerates "
+            "data on the fly instead of materialising the train split",
+        )
+        p.add_argument(
+            "--shard-size",
+            type=int,
+            default=None,
+            metavar="N",
+            help="examples per streamed shard (default: 512; "
+            "only meaningful with --stream)",
+        )
+        p.add_argument(
+            "--data-budget-mb",
+            type=float,
+            default=None,
+            metavar="MB",
+            help="memory budget for resident shards and the epochwise "
+            "delta store, in MiB (default: unbounded; only meaningful "
+            "with --stream)",
         )
 
     p_table = sub.add_parser("table1", help="regenerate Table I")

@@ -9,11 +9,20 @@ from .dataset import (
     train_test_split,
 )
 from .loader import Batch, DataLoader
+from .source import (
+    DEFAULT_SHARD_SIZE,
+    DataSource,
+    ShardCache,
+    SyntheticSource,
+    TensorSource,
+    as_source,
+)
 from .synthetic import (
     SyntheticDigits,
     SyntheticFashion,
     dataset_epsilon,
     load_dataset,
+    load_test_split,
 )
 from .transforms import (
     ClipToUnit,
@@ -31,9 +40,16 @@ __all__ = [
     "train_test_split",
     "Batch",
     "DataLoader",
+    "DataSource",
+    "TensorSource",
+    "SyntheticSource",
+    "ShardCache",
+    "as_source",
+    "DEFAULT_SHARD_SIZE",
     "SyntheticDigits",
     "SyntheticFashion",
     "load_dataset",
+    "load_test_split",
     "dataset_epsilon",
     "Compose",
     "Normalize",

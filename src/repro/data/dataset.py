@@ -91,6 +91,17 @@ class Subset(Dataset):
     def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
         return self.dataset[int(self.indices[index])]
 
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialise via one fancy-index of the parent's arrays.
+
+        The base implementation walks ``__getitem__`` example by example
+        (O(N) Python-level loop plus an ``np.stack``); selecting from the
+        parent's materialised arrays does the same gather in one
+        vectorised call.
+        """
+        examples, labels = self.dataset.arrays()
+        return examples[self.indices], labels[self.indices]
+
 
 class ConcatDataset(Dataset):
     """Concatenation of several datasets."""
@@ -112,6 +123,18 @@ class ConcatDataset(Dataset):
         dataset_idx = int(np.searchsorted(self._offsets, index, side="right"))
         prior = 0 if dataset_idx == 0 else int(self._offsets[dataset_idx - 1])
         return self.datasets[dataset_idx][index - prior]
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialise by concatenating each member's arrays.
+
+        One ``np.concatenate`` over the members' (already vectorised)
+        arrays instead of the base class's per-example Python loop.
+        """
+        parts = [dataset.arrays() for dataset in self.datasets]
+        return (
+            np.concatenate([x for x, _ in parts]),
+            np.concatenate([y for _, y in parts]),
+        )
 
 
 def train_test_split(

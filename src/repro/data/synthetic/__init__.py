@@ -1,17 +1,41 @@
 """Synthetic image datasets substituting for MNIST / Fashion-MNIST."""
 
-from .digits import DIGIT_STROKES, SyntheticDigits, generate_digits
-from .fashion import FASHION_CLASS_NAMES, SyntheticFashion, generate_fashion
-from .registry import DATASET_BUILDERS, dataset_epsilon, load_dataset
+from .digits import (
+    DIGIT_STROKES,
+    SyntheticDigits,
+    generate_digits,
+    render_digit,
+)
+from .fashion import (
+    FASHION_CLASS_NAMES,
+    SyntheticFashion,
+    generate_fashion,
+    render_fashion,
+)
+from .registry import (
+    DATASET_BUILDERS,
+    EXAMPLE_RENDERERS,
+    dataset_epsilon,
+    dataset_num_classes,
+    example_renderer,
+    load_dataset,
+    load_test_split,
+)
 
 __all__ = [
     "SyntheticDigits",
     "generate_digits",
+    "render_digit",
     "DIGIT_STROKES",
     "SyntheticFashion",
     "generate_fashion",
+    "render_fashion",
     "FASHION_CLASS_NAMES",
     "DATASET_BUILDERS",
+    "EXAMPLE_RENDERERS",
     "load_dataset",
+    "load_test_split",
     "dataset_epsilon",
+    "dataset_num_classes",
+    "example_renderer",
 ]

@@ -27,7 +27,12 @@ from .render import (
     render_polyline,
 )
 
-__all__ = ["DIGIT_STROKES", "SyntheticDigits", "generate_digits"]
+__all__ = [
+    "DIGIT_STROKES",
+    "SyntheticDigits",
+    "generate_digits",
+    "render_digit",
+]
 
 
 def _circle(
@@ -166,6 +171,27 @@ def _render_digit(
     image = _sharpen(image)
     return add_pixel_noise(
         image, rng, noise_std=noise_std, intensity_range=(0.95, 1.0)
+    )
+
+
+def render_digit(
+    label: int,
+    rng: RngLike,
+    size: int = 28,
+    point_jitter: float = 0.012,
+    noise_std: float = 0.02,
+) -> np.ndarray:
+    """Render one digit image — the per-example streaming primitive.
+
+    Streaming sources (:class:`repro.data.source.SyntheticSource`)
+    regenerate shards on the fly by drawing examples one at a time from a
+    shard-scoped generator; the image depends only on the label and the
+    generator state, so a shard's content is a pure function of its
+    ``(seed, shard_id)`` key.  Returns a ``(size, size)`` float64 image in
+    ``[0, 1]``.
+    """
+    return _render_digit(
+        int(label), ensure_rng(rng), size, point_jitter, noise_std
     )
 
 

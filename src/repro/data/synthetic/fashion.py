@@ -18,7 +18,12 @@ from ...utils.rng import RngLike, ensure_rng, spawn_rngs
 from ..dataset import TensorDataset
 from .render import pixel_grid
 
-__all__ = ["SyntheticFashion", "generate_fashion", "FASHION_CLASS_NAMES"]
+__all__ = [
+    "SyntheticFashion",
+    "generate_fashion",
+    "render_fashion",
+    "FASHION_CLASS_NAMES",
+]
 
 FASHION_CLASS_NAMES = (
     "tshirt",
@@ -214,6 +219,20 @@ def _render_fashion(
     if noise_std > 0:
         image = image + rng.normal(0.0, noise_std, size=image.shape)
     return np.clip(image, 0.0, 1.0)
+
+
+def render_fashion(
+    label: int,
+    rng: RngLike,
+    size: int = 28,
+    noise_std: float = 0.05,
+) -> np.ndarray:
+    """Render one fashion image — the per-example streaming primitive.
+
+    Counterpart of :func:`repro.data.synthetic.digits.render_digit`; see
+    there for the determinism contract streaming sources rely on.
+    """
+    return _render_fashion(int(label), ensure_rng(rng), size, noise_std)
 
 
 def generate_fashion(

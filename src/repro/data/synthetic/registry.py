@@ -10,10 +10,18 @@ from __future__ import annotations
 from typing import Tuple
 
 from ..dataset import TensorDataset
-from .digits import SyntheticDigits
-from .fashion import SyntheticFashion
+from .digits import SyntheticDigits, render_digit
+from .fashion import SyntheticFashion, render_fashion
 
-__all__ = ["DATASET_BUILDERS", "load_dataset", "dataset_epsilon"]
+__all__ = [
+    "DATASET_BUILDERS",
+    "EXAMPLE_RENDERERS",
+    "load_dataset",
+    "load_test_split",
+    "dataset_epsilon",
+    "dataset_num_classes",
+    "example_renderer",
+]
 
 # Per-dataset total perturbation budgets used throughout the experiments.
 # The paper used 0.3 (MNIST) and 0.2 (Fashion-MNIST); the synthetic
@@ -42,6 +50,35 @@ DATASET_BUILDERS = {
     "digits": _build_digits,
     "fashion": _build_fashion,
 }
+
+# Per-example render functions ``(label, rng, size=...) -> (size, size)``
+# used by the streaming :class:`repro.data.source.SyntheticSource` to
+# regenerate shards on the fly instead of materialising a full dataset.
+EXAMPLE_RENDERERS = {
+    "digits": render_digit,
+    "fashion": render_fashion,
+}
+
+_NUM_CLASSES = {"digits": 10, "fashion": 10}
+
+
+def dataset_num_classes(name: str) -> int:
+    """Number of classes of a registered paper dataset."""
+    if name not in _NUM_CLASSES:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {sorted(_NUM_CLASSES)}"
+        )
+    return _NUM_CLASSES[name]
+
+
+def example_renderer(name: str):
+    """The per-example render function backing a streaming source."""
+    if name not in EXAMPLE_RENDERERS:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from "
+            f"{sorted(EXAMPLE_RENDERERS)}"
+        )
+    return EXAMPLE_RENDERERS[name]
 
 
 def dataset_epsilon(name: str) -> float:
@@ -77,5 +114,22 @@ def load_dataset(
         )
     builder = DATASET_BUILDERS[name]
     train = builder(train_per_class, seed)
-    test = builder(test_per_class, seed + _TEST_SEED_OFFSET)
-    return train, test
+    return train, load_test_split(name, test_per_class, seed)
+
+
+def load_test_split(
+    name: str, test_per_class: int = 50, seed: int = 0
+) -> TensorDataset:
+    """Build only the held-out test split of a paper dataset.
+
+    Streaming experiments regenerate the *training* stream on the fly
+    (:class:`repro.data.source.SyntheticSource`) but still evaluate on a
+    small materialised test set; this builds exactly the test split
+    :func:`load_dataset` would return, without generating the training
+    examples.
+    """
+    if name not in DATASET_BUILDERS:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {sorted(DATASET_BUILDERS)}"
+        )
+    return DATASET_BUILDERS[name](test_per_class, seed + _TEST_SEED_OFFSET)

@@ -1,0 +1,241 @@
+"""Out-of-core storage for the epochwise defense's carried perturbations.
+
+The epoch-wise trainer used to keep its cross-epoch cache as one dense
+``(N, *example)`` array of *adversarial examples* — a second copy of the
+whole dataset, which is exactly the fits-in-memory assumption the
+streaming pipeline removes.  This module replaces it with a
+:class:`DeltaStore`:
+
+* it carries **perturbations** (``delta = x_adv - x_clean``), not
+  examples — the clean example is reconstructed by the data pipeline on
+  demand, so the store is the only epochwise state and it is bounded by
+  an explicit byte budget;
+* deltas live in fixed-size **blocks** keyed by ``index // block_size``,
+  held in a :class:`~repro.data.source.ShardCache` so least-recently
+  touched blocks are evicted first when the budget binds (those examples
+  simply restart from clean — graceful degradation, not an error);
+* block buffers are drawn from and returned to the workspace pool, so a
+  budget-bounded run recycles the same few buffers per epoch.
+
+Reconstruction is ``clip(x_clean + delta, 0, 1)``, which matches the
+stored iterate exactly in exact arithmetic (the attack projection already
+produced ``x_adv`` inside the box) and to the last ulp in floating point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..data.source import ShardCache
+from ..runtime import compute_dtype
+from ..runtime.workspace import get_workspace
+
+__all__ = ["DeltaStore", "DEFAULT_BLOCK_SIZE"]
+
+# Block granularity: 256 28x28 float64 deltas ~ 1.6 MB — fine-grained
+# enough that a few-MB budget holds several blocks, coarse enough that
+# per-block bookkeeping is negligible next to the attack step.
+DEFAULT_BLOCK_SIZE = 256
+
+
+class DeltaStore:
+    """Blocked, byte-budgeted map from dataset index to carried delta.
+
+    Parameters
+    ----------
+    block_size:
+        Dataset indices per block; block ``b`` covers
+        ``[b * block_size, (b+1) * block_size)``.
+    budget_bytes:
+        Total byte budget for resident blocks; ``None`` is unbounded
+        (the in-memory behaviour, minus the second copy of the clean
+        data).  When it binds, LRU blocks are dropped and their examples
+        restart from the clean image at the next epoch.
+    """
+
+    def __init__(
+        self,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        budget_bytes: Optional[int] = None,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self.block_size = int(block_size)
+        self._blocks = ShardCache(
+            budget_bytes=budget_bytes, on_evict=self._dispose_block
+        )
+        self._example_shape: Optional[Tuple[int, ...]] = None
+        self._dtype: Optional[np.dtype] = None
+
+    # -- lifecycle -------------------------------------------------------
+    @staticmethod
+    def _dispose_block(block_id, entry) -> None:
+        delta, has = entry
+        workspace = get_workspace()
+        workspace.release(delta)
+        workspace.release(has)
+
+    def clear(self) -> None:
+        """Drop every carried delta (the epoch-wise cache reset)."""
+        self._blocks.clear()
+
+    # -- geometry upkeep -------------------------------------------------
+    def _align(self, example_shape: Tuple[int, ...]) -> np.dtype:
+        """Track the (shape, dtype) regime; changes invalidate or recast.
+
+        A changed example shape means the store is being reused against a
+        different dataset — carried deltas are meaningless, drop them.  A
+        changed compute dtype (precision policy switched mid-run) keeps
+        the carried state by recasting the few resident blocks.
+        """
+        dtype = np.dtype(compute_dtype())
+        if (
+            self._example_shape is not None
+            and self._example_shape != example_shape
+        ):
+            self.clear()
+        self._example_shape = example_shape
+        if self._dtype is not None and self._dtype != dtype:
+            workspace = get_workspace()
+            for block_id, (delta, has) in list(self._blocks.items()):
+                cast = workspace.acquire(delta.shape, dtype)
+                np.copyto(cast, delta, casting="unsafe")
+                workspace.release(delta)
+                self._blocks.put(
+                    block_id, (cast, has), cast.nbytes + has.nbytes
+                )
+        self._dtype = dtype
+        return dtype
+
+    def _new_block(self, dtype: np.dtype):
+        # Evict ahead of the allocation so displaced block buffers land
+        # in the workspace pool in time to be recycled for this one.
+        row = int(np.prod(self._example_shape)) * dtype.itemsize + 1
+        self._blocks.reserve(self.block_size * row)
+        workspace = get_workspace()
+        delta = workspace.acquire(
+            (self.block_size, *self._example_shape), dtype
+        )
+        has = workspace.acquire((self.block_size,), np.bool_)
+        has.fill(False)
+        return delta, has
+
+    # -- reads -----------------------------------------------------------
+    def lookup(self, indices: np.ndarray, x_clean: np.ndarray) -> np.ndarray:
+        """Reconstruct the carried iterates for a batch.
+
+        Returns a fresh array: ``clip(x_clean + delta, 0, 1)`` where a
+        delta is carried, the clean example where none is (first touch,
+        post-reset, or evicted block).
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        x_clean = np.asarray(x_clean)
+        out = x_clean.copy()
+        if len(self._blocks) == 0 or idx.size == 0:
+            return out
+        block_ids = idx // self.block_size
+        for block_id in np.unique(block_ids):
+            entry = self._blocks.get(int(block_id))
+            if entry is None:
+                continue
+            delta, has = entry
+            rows = np.flatnonzero(block_ids == block_id)
+            local = idx[rows] - int(block_id) * self.block_size
+            carried = has[local]
+            if not carried.any():
+                continue
+            rows = rows[carried]
+            local = local[carried]
+            out[rows] = np.clip(x_clean[rows] + delta[local], 0.0, 1.0)
+        return out
+
+    # -- writes ----------------------------------------------------------
+    def store(
+        self, indices: np.ndarray, x_adv: np.ndarray, x_clean: np.ndarray
+    ) -> None:
+        """Carry ``x_adv - x_clean`` for a batch into the store."""
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.size == 0:
+            return
+        x_adv = np.asarray(x_adv)
+        dtype = self._align(tuple(x_adv.shape[1:]))
+        batch_delta = np.subtract(x_adv, x_clean, dtype=dtype)
+        block_ids = idx // self.block_size
+        for block_id in np.unique(block_ids):
+            entry = self._blocks.get(int(block_id))
+            if entry is None:
+                entry = self._new_block(dtype)
+            delta, has = entry
+            rows = np.flatnonzero(block_ids == block_id)
+            local = idx[rows] - int(block_id) * self.block_size
+            delta[local] = batch_delta[rows]
+            has[local] = True
+            # (Re-)insert: bumps recency and re-evaluates the budget.
+            self._blocks.put(
+                int(block_id), (delta, has), delta.nbytes + has.nbytes
+            )
+
+    # -- mapping-style access (diagnostics, tests) -----------------------
+    def has(self, index: int) -> bool:
+        """Whether a delta is carried for one dataset index."""
+        entry = self._blocks.peek(int(index) // self.block_size)
+        if entry is None:
+            return False
+        return bool(entry[1][int(index) % self.block_size])
+
+    def delta(self, index: int) -> np.ndarray:
+        """The carried delta row for one dataset index (KeyError if none)."""
+        entry = self._blocks.peek(int(index) // self.block_size)
+        if entry is None or not entry[1][int(index) % self.block_size]:
+            raise KeyError(index)
+        return entry[0][int(index) % self.block_size]
+
+    def indices(self) -> Iterator[int]:
+        """All dataset indices with a carried delta, ascending per block."""
+        for block_id, (_, has) in sorted(self._blocks.items()):
+            base = int(block_id) * self.block_size
+            for local in np.flatnonzero(has):
+                yield base + int(local)
+
+    # -- accounting ------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of dataset indices with a carried delta."""
+        return int(
+            sum(int(has.sum()) for _, (_, has) in self._blocks.items())
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self._blocks.bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._blocks.peak_bytes
+
+    @property
+    def evictions(self) -> int:
+        return self._blocks.evictions
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    def telemetry_gauges(self, prefix: str = "epochwise.cache") -> dict:
+        """Store statistics keyed by their telemetry gauge names."""
+        return {
+            f"{prefix}_bytes": self.nbytes,
+            f"{prefix}_peak_bytes": self.peak_bytes,
+            f"{prefix}_blocks": self.num_blocks,
+            f"{prefix}_evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        budget = self._blocks.budget_bytes
+        return (
+            f"DeltaStore(block_size={self.block_size}, "
+            f"blocks={self.num_blocks}, bytes={self.nbytes}, "
+            f"budget={'∞' if budget is None else budget})"
+        )

@@ -40,43 +40,37 @@ from ..autograd import Tensor
 from ..data.loader import Batch
 from ..nn import Module, cross_entropy
 from ..optim import Optimizer
-from ..runtime import compute_dtype, ensure_float_array
+from ..runtime import ensure_float_array
 from ..utils.validation import check_in_unit_interval, check_positive
+from .delta import DEFAULT_BLOCK_SIZE, DeltaStore
 from .trainer import Trainer
 
 __all__ = ["EpochwiseAdvTrainer"]
 
 
-class _ExampleCache(Mapping):
-    """Read-only dict-like view over the vectorised adversarial cache.
+class _DeltaView(Mapping):
+    """Read-only dict-like view over the carried perturbations.
 
-    The trainer stores cached iterates in one dense ``(N, *example)``
-    array plus an occupancy mask (batch assembly and storage are then
-    single fancy-index operations instead of per-row dict traffic); this
-    view preserves the historical ``trainer._cache`` mapping interface
-    for tests and diagnostics.
+    The trainer stores carried state in a blocked
+    :class:`~repro.defenses.delta.DeltaStore` (perturbations, not
+    examples); this view preserves the historical ``trainer._cache``
+    mapping interface for tests and diagnostics — keys are dataset
+    indices, values are the carried **delta** rows (``x_adv - x_clean``).
     """
 
-    __slots__ = ("_x", "_has")
+    __slots__ = ("_store",)
 
-    def __init__(self, x: Optional[np.ndarray], has: Optional[np.ndarray]):
-        self._x = x
-        self._has = has
+    def __init__(self, store: DeltaStore):
+        self._store = store
 
     def __getitem__(self, index: int) -> np.ndarray:
-        index = int(index)
-        has = self._has
-        if has is not None and 0 <= index < len(has) and has[index]:
-            return self._x[index]
-        raise KeyError(index)
+        return self._store.delta(index)
 
     def __iter__(self):
-        if self._has is None:
-            return iter(())
-        return iter(np.flatnonzero(self._has).tolist())
+        return self._store.indices()
 
     def __len__(self) -> int:
-        return 0 if self._has is None else int(self._has.sum())
+        return self._store.count
 
 
 class EpochwiseAdvTrainer(Trainer):
@@ -100,6 +94,14 @@ class EpochwiseAdvTrainer(Trainer):
         Cache reset period in epochs (paper: 20).  ``0`` disables resets.
     clean_weight:
         Mixture weight of the clean loss (0.5 as in the other defenses).
+    delta_block_size:
+        Dataset indices per delta-store block (see
+        :class:`~repro.defenses.delta.DeltaStore`).
+    delta_budget_bytes:
+        Byte budget for the carried perturbations; ``None`` is unbounded.
+        Under a binding budget, least-recently-trained blocks are dropped
+        and their examples restart from clean — the streaming analogue of
+        a partial cache reset.
     """
 
     name = "epochwise_adv"
@@ -115,6 +117,8 @@ class EpochwiseAdvTrainer(Trainer):
         warmup_epochs: int = 0,
         loss_fn: Callable = cross_entropy,
         scheduler=None,
+        delta_block_size: int = DEFAULT_BLOCK_SIZE,
+        delta_budget_bytes: Optional[int] = None,
     ) -> None:
         super().__init__(model, optimizer, loss_fn=loss_fn, scheduler=scheduler)
         check_positive("epsilon", epsilon)
@@ -135,11 +139,13 @@ class EpochwiseAdvTrainer(Trainer):
         check_positive("step_size", self.step_size)
         self.reset_interval = int(reset_interval)
         self.clean_weight = clean_weight
-        # dataset index -> current adversarial example (carried across
-        # epochs), stored densely: one (N, *example) array plus an
-        # occupancy mask so batch assembly is a fancy-index gather.
-        self._cache_x: Optional[np.ndarray] = None
-        self._cache_has: Optional[np.ndarray] = None
+        # dataset index -> carried perturbation (delta, not the absolute
+        # adversarial example), held in budget-bounded blocks; the clean
+        # example is re-supplied by the data pipeline every epoch, so the
+        # trainer never holds a second copy of the dataset.
+        self._delta = DeltaStore(
+            block_size=delta_block_size, budget_bytes=delta_budget_bytes
+        )
         # The paper's method IS the attack engine run with carried state:
         # the per-example cache plays the initializer role (the iterate is
         # resumed, not restarted), and each epoch applies exactly one
@@ -158,20 +164,28 @@ class EpochwiseAdvTrainer(Trainer):
 
     # ------------------------------------------------------------------
     @property
-    def _cache(self) -> _ExampleCache:
-        """Mapping view of the cache (dataset index -> cached iterate)."""
-        return _ExampleCache(self._cache_x, self._cache_has)
+    def _cache(self) -> _DeltaView:
+        """Mapping view of the store (dataset index -> carried delta)."""
+        return _DeltaView(self._delta)
+
+    @property
+    def delta_store(self) -> DeltaStore:
+        """The carried-perturbation store (diagnostics, benchmarks)."""
+        return self._delta
 
     def reset_cache(self) -> None:
-        """Forget all cached adversarial examples (epoch-wise restart)."""
-        self._cache_x = None
-        self._cache_has = None
+        """Forget all carried perturbations (epoch-wise restart)."""
+        self._delta.clear()
 
     @property
     def cache_size(self) -> int:
-        """Number of examples with a cached adversarial iterate."""
-        has = self._cache_has
-        return 0 if has is None else int(has.sum())
+        """Number of examples with a carried perturbation."""
+        return self._delta.count
+
+    @property
+    def cache_bytes(self) -> int:
+        """Resident bytes of the carried-perturbation store."""
+        return self._delta.nbytes
 
     @property
     def in_warmup(self) -> bool:
@@ -194,70 +208,26 @@ class EpochwiseAdvTrainer(Trainer):
             )
 
     # ------------------------------------------------------------------
-    def _ensure_capacity(self, capacity: int, example_shape: tuple) -> None:
-        """Size the dense cache to hold dataset indices below ``capacity``."""
-        dtype = np.dtype(compute_dtype())
-        x, has = self._cache_x, self._cache_has
-        if (
-            x is not None
-            and x.dtype == dtype
-            and x.shape[1:] == tuple(example_shape)
-            and has.shape[0] >= capacity
-        ):
-            return
-        old = 0 if has is None else has.shape[0]
-        # Grow geometrically so an epoch of sequential stores stays O(N).
-        size = max(capacity, old + (old >> 2), 64)
-        new_x = np.zeros((size, *example_shape), dtype)
-        new_has = np.zeros(size, dtype=bool)
-        if has is not None and x.shape[1:] == tuple(example_shape):
-            new_x[:old] = x.astype(dtype, copy=False)
-            new_has[:old] = has
-        self._cache_x, self._cache_has = new_x, new_has
-
-    def _cached_batch(self, batch: Batch) -> np.ndarray:
-        """Assemble the carried-over adversarial batch (clean on first use)."""
-        x_clean = ensure_float_array(batch.x)
-        has_all = self._cache_has
-        if has_all is None:
-            return x_clean.copy() if x_clean is batch.x else x_clean
-        idx = np.asarray(batch.indices, dtype=np.intp)
-        valid = idx < has_all.shape[0]
-        if valid.all():
-            has = has_all[idx]
-        else:
-            has = np.zeros(idx.shape[0], dtype=bool)
-            has[valid] = has_all[idx[valid]]
-        hits = int(has.sum())
-        if hits == 0:
-            return x_clean.copy() if x_clean is batch.x else x_clean
-        cache_x = self._cache_x
-        if hits == has.shape[0]:
-            return cache_x[idx]
-        # Mixed batch: promote exactly as stacking mixed-dtype rows would.
-        dtype = np.result_type(x_clean.dtype, cache_x.dtype)
-        out = x_clean.astype(dtype, copy=True)
-        out[has] = cache_x[idx[has]]
-        return out
-
-    def _store_batch(self, batch: Batch, x_adv: np.ndarray) -> None:
-        # The cross-epoch cache lives in the policy compute dtype; storing
-        # anything wider would double its memory footprint for no benefit.
-        x_adv = np.asarray(x_adv, dtype=compute_dtype())
-        idx = np.asarray(batch.indices, dtype=np.intp)
-        if idx.size == 0:
-            return
-        self._ensure_capacity(int(idx.max()) + 1, x_adv.shape[1:])
-        self._cache_x[idx] = x_adv
-        self._cache_has[idx] = True
-
     def adversarial_batch(self, batch: Batch) -> np.ndarray:
-        """One perturbation step from the cached iterate (Figure 3b)."""
+        """One perturbation step from the carried iterate (Figure 3b).
+
+        The carried iterate is reconstructed as ``clip(clean + delta)``
+        from the delta store (clean where nothing is carried), stepped
+        once, and the new delta is carried forward.
+        """
         with tel.span("attack"):
-            x_start = self._cached_batch(batch)
             x_clean = ensure_float_array(batch.x)
+            x_start = self._delta.lookup(batch.indices, x_clean)
             x_adv = self._stepper.step(x_start, x_clean, batch.y)
-            self._store_batch(batch, x_adv)
+            self._delta.store(batch.indices, x_adv, x_clean)
+            if tel.enabled():
+                tel.gauge("epochwise.cache_bytes", self._delta.nbytes)
+                tel.gauge(
+                    "epochwise.cache_peak_bytes", self._delta.peak_bytes
+                )
+                tel.gauge(
+                    "epochwise.cache_evictions", self._delta.evictions
+                )
             return x_adv
 
     def compute_batch_loss(self, batch: Batch) -> Tensor:

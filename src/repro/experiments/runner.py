@@ -12,7 +12,8 @@ import os
 from dataclasses import dataclass
 from typing import Dict
 
-from ..data import DataLoader, load_dataset
+from ..data import DataLoader, SyntheticSource, load_dataset, load_test_split
+from ..data.synthetic import dataset_num_classes
 from ..defenses import TrainingHistory, build_trainer
 from ..models import FeatureClassifier, build_model
 from ..nn import Module
@@ -58,12 +59,33 @@ class ClassifierPool:
         self.verbose = verbose
         self._cache: Dict[str, TrainedDefense] = {}
         with config.precision_scope():
-            self.train_set, self.test_set = load_dataset(
-                config.dataset,
-                train_per_class=config.train_per_class,
-                test_per_class=config.test_per_class,
-                seed=config.seed,
-            )
+            if config.stream:
+                # Streaming mode never materialises the training split:
+                # the source regenerates shards on demand, keyed by
+                # (seed, shard_id).  Only the small test split is built.
+                self.train_set = None
+                self.train_source = SyntheticSource(
+                    config.dataset,
+                    num_examples=(
+                        dataset_num_classes(config.dataset)
+                        * config.train_per_class
+                    ),
+                    shard_size=config.resolved_shard_size,
+                    seed=config.seed,
+                )
+                self.test_set = load_test_split(
+                    config.dataset,
+                    test_per_class=config.test_per_class,
+                    seed=config.seed,
+                )
+            else:
+                self.train_set, self.test_set = load_dataset(
+                    config.dataset,
+                    train_per_class=config.train_per_class,
+                    test_per_class=config.test_per_class,
+                    seed=config.seed,
+                )
+                self.train_source = None
             self.test_x, self.test_y = self.test_set.arrays()
 
     # ------------------------------------------------------------------
@@ -73,10 +95,18 @@ class ClassifierPool:
         return self.config.resolved_epsilon
 
     def _make_loader(self) -> DataLoader:
+        config = self.config
+        if config.stream:
+            return DataLoader(
+                self.train_source,
+                batch_size=config.batch_size,
+                rng=config.seed,
+                budget_bytes=config.budget_bytes,
+            )
         return DataLoader(
             self.train_set,
-            batch_size=self.config.batch_size,
-            rng=self.config.seed,
+            batch_size=config.batch_size,
+            rng=config.seed,
         )
 
     def _make_model(self) -> FeatureClassifier:
@@ -85,7 +115,15 @@ class ClassifierPool:
     def _trainer_kwargs(self, name: str) -> dict:
         if name == "vanilla":
             return {}
-        return {"warmup_epochs": self.config.warmup_epochs}
+        kwargs = {"warmup_epochs": self.config.warmup_epochs}
+        if name == "proposed" and self.config.budget_bytes is not None:
+            # The epochwise carried-perturbation store honours the same
+            # byte budget as the loader's shard cache, with its blocks
+            # aligned to the loader's shards so whole blocks age out
+            # together with the shards that produced them.
+            kwargs["delta_budget_bytes"] = self.config.budget_bytes
+            kwargs["delta_block_size"] = self.config.resolved_shard_size
+        return kwargs
 
     # ------------------------------------------------------------------
     def get(self, name: str, **trainer_overrides) -> TrainedDefense:

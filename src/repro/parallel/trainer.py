@@ -6,8 +6,10 @@ across ``N`` persistent forked workers:
 
 1. the parent writes the batch (examples, labels, dataset indices) and the
    current parameters into shared memory and broadcasts a ``step`` message;
-2. each worker takes the shard of examples whose **dataset index** hashes to
-   it (``index % N``), runs adversarial-example generation plus
+2. each worker takes the shard of examples it **owns by dataset index** —
+   whole source shards (``(index // shard_size) % N``) when the loader
+   streams a sharded source with at least one shard per worker, else the
+   legacy ``index % N`` striping — runs adversarial-example generation plus
    forward/backward on its own trainer replica — with its own workspace
    pool and, when enabled, its own compiled tape — and writes its
    shard-weighted gradients into its private shared-memory slot;
@@ -17,9 +19,14 @@ across ``N`` persistent forked workers:
    runs the optimizer step.
 
 Sharding by dataset index rather than batch position keeps stateful
-defenses correct: the epochwise trainer's per-example adversarial cache
-lives in the worker that owns the example, and ownership never migrates
-between epochs.  With one worker the computation is **bit-for-bit** equal
+defenses correct: the epochwise trainer's per-example carried state lives
+in the worker that owns the example, and ownership never migrates between
+epochs (both ownership rules are pure functions of the dataset index and
+the worker count).  Whole-shard ownership additionally aligns each
+worker's delta-store blocks with the loader's source shards, so a
+streaming run touches each worker's carried blocks in long contiguous
+runs instead of striding across all of them every batch.  With one worker
+the computation is **bit-for-bit** equal
 to the serial trainer (the whole batch lands on worker 0 and gradients are
 copied, not re-associated); with more workers results differ from serial
 only by floating-point summation order, which the determinism tests bound.
@@ -115,9 +122,9 @@ class _WorkerContext:
     def handle(self, worker_id: int, message):
         kind = message[0]
         if kind == "step":
-            _, n, epoch, tel_on = message
+            _, n, epoch, tel_on, owner_block = message
             tel.set_enabled(tel_on)
-            return self._step(worker_id, n, epoch)
+            return self._step(worker_id, n, epoch, owner_block)
         if kind == "epoch_start":
             _, epoch, tel_on = message
             tel.set_enabled(tel_on)
@@ -148,12 +155,21 @@ class _WorkerContext:
         for index, segment in self.layout.segments(flat):
             np.copyto(self.layout.params[index].data, segment)
 
-    def _step(self, worker_id: int, n: int, epoch: int):
+    def _step(self, worker_id: int, n: int, epoch: int, owner_block: int):
         trainer = self.trainer
         trainer.epoch = epoch
         self._load_params()
         indices = self.idx_sh.array[:n]
-        rows = np.flatnonzero(indices % self.num_workers == worker_id)
+        # owner_block > 0: whole-shard ownership (aligned with the
+        # loader's source shards); 0: legacy per-index striping.  Either
+        # way ownership is a pure function of the dataset index, so the
+        # per-example carried state of stateful defenses never migrates.
+        owners = (
+            (indices // owner_block) % self.num_workers
+            if owner_block
+            else indices % self.num_workers
+        )
+        rows = np.flatnonzero(owners == worker_id)
         slot = self.grad_sh.array[worker_id]
         n_shard = int(rows.size)
         if n_shard == 0:
@@ -384,13 +400,28 @@ class DataParallelTrainer(Trainer):
             np.copyto(self._grad_bufs[index], segment)
             self._layout.params[index].grad = self._grad_bufs[index]
 
-    def _parallel_step(self, batch: Batch) -> float:
+    @staticmethod
+    def _owner_block_for(loader, num_workers: int) -> int:
+        """Shard-ownership block size for a loader, 0 for legacy striping.
+
+        Whole-shard ownership requires a genuinely sharded loader with at
+        least one shard per worker (fewer would idle workers); anything
+        else — plain iterables, single-shard in-memory loaders — keeps
+        the historical ``index % N`` rule.
+        """
+        shard_size = int(getattr(loader, "shard_size", 0) or 0)
+        num_shards = int(getattr(loader, "num_shards", 1) or 1)
+        if shard_size > 0 and num_shards > 1 and num_shards >= num_workers:
+            return shard_size
+        return 0
+
+    def _parallel_step(self, batch: Batch, owner_block: int) -> float:
         n = len(batch.x)
         workers = self.num_workers
         with tel.span("parallel") as parallel_span:
             self._write_batch(batch, n)
             self._write_params()
-            message = ("step", n, self.epoch, tel.enabled())
+            message = ("step", n, self.epoch, tel.enabled(), owner_block)
             for worker_id in range(workers):
                 self._dispatch(worker_id, message)
             replies = self._collect(message)
@@ -420,6 +451,7 @@ class DataParallelTrainer(Trainer):
         """One data-parallel pass over the loader; returns the mean loss."""
         self.model.train()
         capacity_hint = int(getattr(loader, "batch_size", 0))
+        owner_block = self._owner_block_for(loader, self.num_workers)
         losses = []
         epoch_started = False
         iterator = iter(loader)
@@ -437,7 +469,7 @@ class DataParallelTrainer(Trainer):
                 )
                 epoch_started = True
             self.optimizer.zero_grad()
-            losses.append(self._parallel_step(batch))
+            losses.append(self._parallel_step(batch, owner_block))
             with tel.span("optimizer"):
                 self.optimizer.step()
         if epoch_started:

@@ -211,6 +211,11 @@ class RunReport:
         if hits or misses:
             rate = hits / (hits + misses) if (hits + misses) else 0.0
             lines.append(f"workspace pool hit-rate: {rate:.1%}")
+        sc_hits = gauges.get("data.shard_cache.hits", 0.0)
+        sc_misses = gauges.get("data.shard_cache.misses", 0.0)
+        if sc_hits or sc_misses:
+            rate = sc_hits / (sc_hits + sc_misses)
+            lines.append(f"shard cache hit-rate: {rate:.1%}")
         histograms = self.metrics.get("histograms", {})
         if histograms:
             lines.append("histograms:")

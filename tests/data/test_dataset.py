@@ -9,6 +9,12 @@ from repro.data import (
     TensorDataset,
     train_test_split,
 )
+from repro.data.dataset import Dataset
+
+
+def base_arrays(dataset):
+    """The pre-vectorisation per-example materialisation, for parity."""
+    return Dataset.arrays(dataset)
 
 
 def make_dataset(n=10):
@@ -53,6 +59,23 @@ class TestSubset:
         x, y = sub.arrays()
         assert x.shape == (2, 4)
 
+    def test_arrays_matches_base_implementation(self):
+        """The vectorised override must equal the per-example loop."""
+        sub = Subset(make_dataset(10), [7, 0, 3, 3, 9])
+        x, y = sub.arrays()
+        bx, by = base_arrays(sub)
+        assert np.array_equal(x, bx)
+        assert np.array_equal(y, by)
+        assert x.dtype == bx.dtype
+
+    def test_arrays_of_nested_subset(self):
+        inner = Subset(make_dataset(10), [2, 4, 6, 8])
+        outer = Subset(inner, [3, 0])
+        x, y = outer.arrays()
+        bx, by = base_arrays(outer)
+        assert np.array_equal(x, bx)
+        assert np.array_equal(y, by)
+
 
 class TestConcatDataset:
     def test_length(self):
@@ -78,6 +101,23 @@ class TestConcatDataset:
     def test_empty_list_raises(self):
         with pytest.raises(ValueError):
             ConcatDataset([])
+
+    def test_arrays_matches_base_implementation(self):
+        cat = ConcatDataset([make_dataset(3), make_dataset(5)])
+        x, y = cat.arrays()
+        bx, by = base_arrays(cat)
+        assert np.array_equal(x, bx)
+        assert np.array_equal(y, by)
+        assert x.dtype == bx.dtype
+
+    def test_arrays_of_concat_of_subsets(self):
+        cat = ConcatDataset(
+            [Subset(make_dataset(6), [5, 1]), Subset(make_dataset(4), [0, 3])]
+        )
+        x, y = cat.arrays()
+        bx, by = base_arrays(cat)
+        assert np.array_equal(x, bx)
+        assert np.array_equal(y, by)
 
 
 class TestTrainTestSplit:

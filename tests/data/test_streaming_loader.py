@@ -1,0 +1,261 @@
+"""Tests for the streaming behaviours of the rebuilt DataLoader.
+
+Legacy loader behaviour (single-shard in-memory iteration) is covered by
+``test_loader.py``; this module tests what the shard-based rebuild adds:
+shard-local shuffling, source equivalence, background prefetch, per-pass
+dtype resolution, and the telemetry surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry as tel
+from repro.data import (
+    DataLoader,
+    SyntheticSource,
+    TensorDataset,
+    TensorSource,
+)
+from repro.runtime import precision
+
+
+def make_dataset(n=40, width=5):
+    x = np.arange(n * width, dtype=np.float64).reshape(n, width)
+    y = np.arange(n, dtype=np.int64) % 4
+    return TensorDataset(x, y)
+
+
+def collect(loader):
+    return [
+        (batch.x.copy(), batch.y.copy(), batch.indices.copy())
+        for batch in loader
+    ]
+
+
+def assert_same_batches(a, b):
+    assert len(a) == len(b)
+    for (xa, ya, ia), (xb, yb, ib) in zip(a, b):
+        assert np.array_equal(xa, xb)
+        assert np.array_equal(ya, yb)
+        assert np.array_equal(ia, ib)
+
+
+class TestLegacyEquivalence:
+    def test_default_wrap_matches_legacy_shuffle_stream(self):
+        """One-shard streaming must reproduce the historical rng draws:
+        exactly one ``permutation(n)`` per pass."""
+        dataset = make_dataset(37)
+        loader = DataLoader(dataset, batch_size=8, rng=42)
+        rng = np.random.default_rng(42)
+        for _pass in range(2):
+            order = rng.permutation(37)
+            got = np.concatenate([b.indices for b in loader])
+            assert np.array_equal(got, order)
+
+    def test_sharded_tensor_source_same_examples_per_pass(self):
+        dataset = make_dataset(30)
+        loader = DataLoader(
+            TensorSource(dataset, shard_size=8), batch_size=7, rng=0
+        )
+        seen = np.concatenate([b.indices for b in loader])
+        assert np.array_equal(np.sort(seen), np.arange(30))
+        for batch in loader:
+            assert np.array_equal(batch.x, dataset.examples[batch.indices])
+
+
+class TestShardLocalShuffle:
+    def test_shard_visit_order_is_contiguous(self):
+        """Examples of one shard appear as one contiguous run per pass."""
+        loader = DataLoader(
+            TensorSource(make_dataset(32), shard_size=8),
+            batch_size=4,
+            rng=1,
+        )
+        order = np.concatenate([b.indices for b in loader])
+        shard_of = order // 8
+        boundaries = np.flatnonzero(np.diff(shard_of) != 0)
+        assert len(boundaries) == 3  # 4 shards -> exactly 3 transitions
+
+    def test_passes_reshuffle(self):
+        loader = DataLoader(
+            TensorSource(make_dataset(32), shard_size=8),
+            batch_size=8,
+            rng=0,
+        )
+        first = np.concatenate([b.indices for b in loader])
+        second = np.concatenate([b.indices for b in loader])
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_is_sequential(self):
+        loader = DataLoader(
+            TensorSource(make_dataset(20), shard_size=6),
+            batch_size=6,
+            shuffle=False,
+        )
+        order = np.concatenate([b.indices for b in loader])
+        assert np.array_equal(order, np.arange(20))
+
+
+class TestSourceEquivalence:
+    def test_synthetic_stream_equals_materialized_tensor_source(self):
+        """Streamed generation == in-memory iteration, bit for bit, when
+        the shard structure and loader rng agree."""
+        stream = SyntheticSource(
+            "digits", num_examples=64, shard_size=16, seed=9
+        )
+        materialized = TensorSource(stream.materialize(), shard_size=16)
+        for prefetch in (False, True):
+            a = collect(
+                DataLoader(stream, batch_size=12, rng=5, prefetch=prefetch)
+            )
+            b = collect(
+                DataLoader(materialized, batch_size=12, rng=5, prefetch=False)
+            )
+            assert_same_batches(a, b)
+
+    def test_budget_does_not_change_batches(self):
+        source = SyntheticSource(
+            "digits", num_examples=64, shard_size=16, seed=4
+        )
+        unbounded = collect(
+            DataLoader(source, batch_size=16, rng=2, prefetch=False)
+        )
+        shard_bytes = 16 * (28 * 28 * 8 + 8)
+        tight = collect(
+            DataLoader(
+                source,
+                batch_size=16,
+                rng=2,
+                budget_bytes=2 * shard_bytes,
+                prefetch=False,
+            )
+        )
+        assert_same_batches(unbounded, tight)
+
+
+class TestPrefetch:
+    def test_prefetch_defaults(self):
+        assert not DataLoader(make_dataset(16), batch_size=4).prefetch
+        assert DataLoader(
+            TensorSource(make_dataset(16), shard_size=4), batch_size=4
+        ).prefetch
+
+    def test_prefetch_equals_sync(self):
+        source = TensorSource(make_dataset(40), shard_size=10)
+        sync = collect(
+            DataLoader(source, batch_size=8, rng=3, prefetch=False)
+        )
+        pre = collect(DataLoader(source, batch_size=8, rng=3, prefetch=True))
+        assert_same_batches(sync, pre)
+
+    def test_abandoned_iterator_stops_producer(self):
+        import threading
+
+        loader = DataLoader(
+            TensorSource(make_dataset(64), shard_size=8),
+            batch_size=4,
+            rng=0,
+            prefetch=True,
+        )
+        iterator = iter(loader)
+        next(iterator)
+        iterator.close()
+        for _ in range(50):
+            if not any(
+                t.name == "repro-data-prefetch" and t.is_alive()
+                for t in threading.enumerate()
+            ):
+                break
+            import time
+
+            time.sleep(0.02)
+        assert not any(
+            t.name == "repro-data-prefetch" and t.is_alive()
+            for t in threading.enumerate()
+        )
+
+    def test_producer_error_surfaces_in_consumer(self):
+        class Exploding(TensorSource):
+            def shard(self, shard_id):
+                if shard_id == 2:
+                    raise RuntimeError("boom")
+                return super().shard(shard_id)
+
+        loader = DataLoader(
+            Exploding(make_dataset(32), shard_size=8),
+            batch_size=8,
+            shuffle=False,
+            prefetch=True,
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            for _batch in loader:
+                pass
+
+    def test_prefetch_telemetry(self):
+        from repro.telemetry.sinks import InMemorySink
+
+        loader = DataLoader(
+            TensorSource(make_dataset(32), shard_size=8),
+            batch_size=8,
+            rng=0,
+            prefetch=True,
+        )
+        sink = InMemorySink()
+        with tel.capture(sink=sink):
+            for _batch in loader:
+                pass
+        metrics = sink.metrics()
+        assert metrics["counters"]["data.prefetch.batches"] == 4
+        assert metrics["counters"]["data.batches"] == 4
+        assert "data.shard_cache.bytes" in metrics["gauges"]
+        assert "data.prefetch.queue_depth" in metrics["gauges"]
+
+
+class TestPerPassDtype:
+    def test_dtype_rechecked_every_pass(self):
+        """Regression: the old loader cast once at construction, so a
+        loader built under one precision policy served stale batches
+        after the policy changed."""
+        dataset = make_dataset(16)
+        with precision("float64"):
+            loader = DataLoader(dataset, batch_size=8, rng=0)
+            assert next(iter(loader)).x.dtype == np.float64
+        with precision("float32"):
+            assert next(iter(loader)).x.dtype == np.float32
+        with precision("float64"):
+            assert next(iter(loader)).x.dtype == np.float64
+
+    def test_dtype_switch_preserves_values(self):
+        dataset = make_dataset(12)
+        loader = DataLoader(dataset, batch_size=12, shuffle=False)
+        with precision("float64"):
+            wide = next(iter(loader)).x
+        with precision("float32"):
+            narrow = next(iter(loader)).x
+        assert np.array_equal(narrow, wide.astype(np.float32))
+
+    def test_dtype_switch_drops_stale_cache_entries(self):
+        loader = DataLoader(
+            TensorSource(make_dataset(16), shard_size=8),
+            batch_size=8,
+            prefetch=False,
+        )
+        with precision("float32"):
+            for _batch in loader:
+                pass
+            entries_32 = len(loader.cache)
+        with precision("float64"):
+            for _batch in loader:
+                pass
+        assert entries_32 == 2
+        # The float32 casts were invalidated, not retained alongside.
+        assert len(loader.cache) == 2
+
+    def test_synthetic_source_streams_in_policy_dtype(self):
+        source = SyntheticSource(
+            "digits", num_examples=16, shard_size=8, seed=0, dtype=np.float64
+        )
+        loader = DataLoader(source, batch_size=8, rng=0, prefetch=False)
+        with precision("float32"):
+            batch = next(iter(loader))
+        assert batch.x.dtype == np.float32

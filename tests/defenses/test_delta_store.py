@@ -1,0 +1,141 @@
+"""Unit tests for the epochwise defense's carried-perturbation store."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.delta import DeltaStore
+from repro.runtime import compute_dtype, precision
+
+
+def make_batch(indices, shape=(2, 2), scale=0.01):
+    idx = np.asarray(indices, dtype=np.intp)
+    rng = np.random.default_rng(0)
+    x_clean = rng.uniform(0.2, 0.8, size=(len(idx), *shape))
+    x_adv = np.clip(
+        x_clean + rng.uniform(-scale, scale, size=x_clean.shape), 0.0, 1.0
+    )
+    return idx, x_adv, x_clean
+
+
+class TestRoundTrip:
+    def test_lookup_before_store_returns_clean_copy(self):
+        store = DeltaStore(block_size=4)
+        idx, _adv, clean = make_batch([0, 1, 2])
+        out = store.lookup(idx, clean)
+        assert np.array_equal(out, clean)
+        assert out is not clean
+
+    def test_store_then_lookup_reconstructs(self):
+        store = DeltaStore(block_size=4)
+        idx, adv, clean = make_batch([0, 1, 5, 9])
+        store.store(idx, adv, clean)
+        out = store.lookup(idx, clean)
+        assert np.allclose(out, adv, atol=1e-12)
+
+    def test_reconstruction_keyed_by_index_not_position(self):
+        store = DeltaStore(block_size=4)
+        idx, adv, clean = make_batch([0, 1, 2, 3])
+        store.store(idx, adv, clean)
+        flipped = idx[::-1].copy()
+        out = store.lookup(flipped, clean[::-1].copy())
+        assert np.allclose(out, adv[::-1], atol=1e-12)
+
+    def test_partial_coverage_mixes_clean_and_carried(self):
+        store = DeltaStore(block_size=4)
+        idx, adv, clean = make_batch([0, 1])
+        store.store(idx, adv, clean)
+        wide_idx, _a, wide_clean = make_batch([0, 1, 2, 3])
+        out = store.lookup(wide_idx, wide_clean)
+        assert np.allclose(out[:2], wide_clean[:2] + (adv - clean), atol=1e-12)
+        assert np.array_equal(out[2:], wide_clean[2:])
+
+    def test_reconstruction_clips_to_unit_box(self):
+        store = DeltaStore(block_size=4)
+        idx = np.array([0])
+        clean = np.full((1, 2, 2), 0.5)
+        adv = np.full((1, 2, 2), 0.9)
+        store.store(idx, adv, clean)
+        near_edge = np.full((1, 2, 2), 0.8)
+        out = store.lookup(idx, near_edge)
+        assert out.max() <= 1.0
+
+
+class TestAccounting:
+    def test_count_and_clear(self):
+        store = DeltaStore(block_size=4)
+        idx, adv, clean = make_batch([0, 3, 7])
+        assert store.count == 0
+        store.store(idx, adv, clean)
+        assert store.count == 3
+        assert store.num_blocks == 2
+        store.clear()
+        assert store.count == 0 and store.nbytes == 0
+
+    def test_mapping_helpers(self):
+        store = DeltaStore(block_size=4)
+        idx, adv, clean = make_batch([2, 6])
+        store.store(idx, adv, clean)
+        assert store.has(2) and store.has(6)
+        assert not store.has(3)
+        tol = 1e-15 if np.dtype(compute_dtype()) == np.float64 else 1e-7
+        assert np.allclose(store.delta(2), adv[0] - clean[0], atol=tol)
+        with pytest.raises(KeyError):
+            store.delta(3)
+        assert list(store.indices()) == [2, 6]
+
+    def test_budget_evicts_lru_blocks(self):
+        shape = (2, 2)
+        itemsize = np.dtype(compute_dtype()).itemsize
+        block_bytes = 4 * (4 * itemsize + 1)  # 4 rows of 2x2 + has mask
+        store = DeltaStore(block_size=4, budget_bytes=2 * block_bytes)
+        for block in range(4):
+            idx, adv, clean = make_batch(
+                [block * 4, block * 4 + 1], shape=shape
+            )
+            store.store(idx, adv, clean)
+        assert store.num_blocks <= 2
+        assert store.evictions >= 2
+        assert store.peak_bytes <= 2 * block_bytes
+        # Evicted examples restart from clean.
+        idx, _adv, clean = make_batch([0, 1], shape=shape)
+        assert np.array_equal(store.lookup(idx, clean), clean)
+
+    def test_telemetry_gauges(self):
+        store = DeltaStore(block_size=4)
+        idx, adv, clean = make_batch([0])
+        store.store(idx, adv, clean)
+        gauges = store.telemetry_gauges()
+        assert gauges["epochwise.cache_bytes"] > 0
+        assert gauges["epochwise.cache_blocks"] == 1
+        assert gauges["epochwise.cache_evictions"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeltaStore(block_size=0)
+
+
+class TestRegimeChanges:
+    def test_shape_change_drops_carried_state(self):
+        store = DeltaStore(block_size=4)
+        idx, adv, clean = make_batch([0, 1], shape=(2, 2))
+        store.store(idx, adv, clean)
+        idx3, adv3, clean3 = make_batch([0, 1], shape=(3, 3))
+        store.store(idx3, adv3, clean3)
+        assert store.count == 2  # only the new-shape rows remain
+        assert np.allclose(store.lookup(idx3, clean3), adv3, atol=1e-12)
+
+    def test_dtype_change_recasts_carried_state(self):
+        store = DeltaStore(block_size=4)
+        with precision("float64"):
+            idx, adv, clean = make_batch([0, 1])
+            store.store(idx, adv, clean)
+        with precision("float32"):
+            idx2, adv2, clean2 = make_batch([2, 3])
+            store.store(
+                idx2,
+                adv2.astype(np.float32),
+                clean2.astype(np.float32),
+            )
+            # Old rows survive, recast to the new policy dtype.
+            assert store.count == 4
+            assert store.delta(0).dtype == np.float32

@@ -100,11 +100,15 @@ class TestCacheMechanics:
             y=batch.y[::-1].copy(),
             indices=batch.indices[::-1].copy(),
         )
-        cached = trainer._cached_batch(flipped)
-        # cached rows follow the flipped index order.
+        cached = trainer._delta.lookup(flipped.indices, flipped.x)
+        # cached rows reconstruct clip(clean + delta) in flipped order,
+        # where the delta is keyed by dataset index.
         for row, index in enumerate(flipped.indices):
             assert np.array_equal(
-                cached[row], trainer._cache[int(index)]
+                cached[row],
+                np.clip(
+                    flipped.x[row] + trainer._cache[int(index)], 0.0, 1.0
+                ),
             )
 
     def test_reset_cache(self, digits_small):

@@ -1,0 +1,217 @@
+"""Serial-equivalence and crash-recovery tests for DataParallelTrainer.
+
+The contract under test:
+
+* one worker is **bit-for-bit** identical to the serial trainer (the whole
+  batch lands on worker 0 and gradients are copied, not re-summed);
+* more workers differ from serial only by floating-point summation order,
+  bounded by a dtype-aware tolerance;
+* a worker killed mid-epoch is restarted and the epoch still completes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader
+from repro.defenses import EpochwiseAdvTrainer, Trainer
+from repro.models import mnist_mlp
+from repro.optim import Adam
+from repro.parallel import DataParallelTrainer
+
+EPOCHS = 2
+BATCH = 64
+
+
+def _tolerances(dtype):
+    """Summation-order tolerance: tight at float64, looser at float32."""
+    if np.dtype(dtype) == np.float64:
+        return dict(rtol=1e-6, atol=1e-9)
+    return dict(rtol=1e-3, atol=1e-5)
+
+
+def make_trainer(kind):
+    model = mnist_mlp(seed=0)
+    optimizer = Adam(model.parameters(), lr=2e-3)
+    if kind == "vanilla":
+        return Trainer(model, optimizer)
+    return EpochwiseAdvTrainer(
+        model, optimizer, epsilon=0.2, warmup_epochs=1
+    )
+
+
+def make_loader(digits_small):
+    train, _ = digits_small
+    return DataLoader(train, batch_size=BATCH, rng=0)
+
+
+def train_serial(kind, digits_small, epochs=EPOCHS):
+    trainer = make_trainer(kind)
+    history = trainer.fit(make_loader(digits_small), epochs=epochs)
+    return trainer, history
+
+
+def train_parallel(kind, digits_small, workers, epochs=EPOCHS):
+    wrapper = DataParallelTrainer(make_trainer(kind), num_workers=workers)
+    try:
+        history = wrapper.fit(make_loader(digits_small), epochs=epochs)
+    finally:
+        wrapper.close()
+    return wrapper, history
+
+
+@pytest.mark.parametrize("kind", ["vanilla", "proposed"])
+class TestSerialEquivalence:
+    def test_one_worker_is_bitwise_serial(self, kind, digits_small):
+        serial, serial_history = train_serial(kind, digits_small)
+        parallel, parallel_history = train_parallel(kind, digits_small, 1)
+        for key, value in serial.model.state_dict().items():
+            assert np.array_equal(
+                value, parallel.model.state_dict()[key]
+            ), f"parameter {key} diverged at one worker"
+        assert serial_history.losses == parallel_history.losses
+
+    def test_two_workers_within_summation_tolerance(self, kind, digits_small):
+        serial, serial_history = train_serial(kind, digits_small)
+        parallel, parallel_history = train_parallel(kind, digits_small, 2)
+        tol = _tolerances(next(iter(serial.model.state_dict().values())).dtype)
+        for key, value in serial.model.state_dict().items():
+            np.testing.assert_allclose(
+                value, parallel.model.state_dict()[key],
+                err_msg=f"parameter {key} outside tolerance at two workers",
+                **tol,
+            )
+        np.testing.assert_allclose(
+            serial_history.losses, parallel_history.losses, **tol
+        )
+
+
+class TestWrapperBehaviour:
+    def test_name_and_steps_delegate_to_inner(self, digits_small):
+        inner = make_trainer("proposed")
+        wrapper = DataParallelTrainer(inner, num_workers=1)
+        try:
+            assert wrapper.name == inner.name
+            assert wrapper.name_with_steps == getattr(
+                inner, "name_with_steps", inner.name
+            )
+        finally:
+            wrapper.close()
+
+    def test_epoch_clock_tracks_inner(self, digits_small):
+        wrapper, _ = train_parallel("vanilla", digits_small, 1, epochs=2)
+        assert wrapper.epoch == 2
+        assert wrapper.inner.epoch == 2
+
+    def test_pool_persists_across_fit_calls(self, digits_small):
+        wrapper = DataParallelTrainer(
+            make_trainer("vanilla"), num_workers=2
+        )
+        try:
+            wrapper.fit(make_loader(digits_small), epochs=1)
+            pool = wrapper._pool
+            assert pool is not None and pool.started
+            wrapper.fit(make_loader(digits_small), epochs=1)
+            assert wrapper._pool is pool  # same workers, no re-fork
+        finally:
+            wrapper.close()
+        assert wrapper._pool is None
+
+    def test_close_is_idempotent(self, digits_small):
+        wrapper, _ = train_parallel("vanilla", digits_small, 1, epochs=1)
+        wrapper.close()
+        wrapper.close()
+
+
+class TestShardAwareOwnership:
+    """Streamed loaders shard ownership at whole-shard granularity."""
+
+    def streamed_loader(self, shard_size=32):
+        from repro.data import SyntheticSource
+
+        source = SyntheticSource(
+            "digits", num_examples=128, shard_size=shard_size, seed=6
+        )
+        return DataLoader(source, batch_size=32, rng=0)
+
+    def test_owner_block_resolution(self, digits_small):
+        resolve = DataParallelTrainer._owner_block_for
+        # Streamed multi-shard loader with enough shards: whole shards.
+        assert resolve(self.streamed_loader(), 2) == 32
+        # In-memory (single-shard) loader: legacy index % N striding.
+        assert resolve(make_loader(digits_small), 2) == 0
+        # Fewer shards than workers: fall back so nobody idles.
+        assert resolve(self.streamed_loader(), 8) == 0
+
+    def test_one_worker_streamed_is_bitwise_serial(self):
+        serial = make_trainer("proposed")
+        serial.fit(self.streamed_loader(), epochs=EPOCHS)
+        wrapper = DataParallelTrainer(
+            make_trainer("proposed"), num_workers=1
+        )
+        try:
+            wrapper.fit(self.streamed_loader(), epochs=EPOCHS)
+        finally:
+            wrapper.close()
+        for key, value in serial.model.state_dict().items():
+            assert np.array_equal(
+                value, wrapper.model.state_dict()[key]
+            ), f"parameter {key} diverged at one streamed worker"
+
+    def test_two_workers_streamed_within_summation_tolerance(self):
+        serial = make_trainer("proposed")
+        serial_history = serial.fit(self.streamed_loader(), epochs=EPOCHS)
+        wrapper = DataParallelTrainer(
+            make_trainer("proposed"), num_workers=2
+        )
+        try:
+            parallel_history = wrapper.fit(
+                self.streamed_loader(), epochs=EPOCHS
+            )
+        finally:
+            wrapper.close()
+        tol = _tolerances(next(iter(serial.model.state_dict().values())).dtype)
+        for key, value in serial.model.state_dict().items():
+            np.testing.assert_allclose(
+                value, wrapper.model.state_dict()[key],
+                err_msg=f"parameter {key} outside tolerance when streamed",
+                **tol,
+            )
+        np.testing.assert_allclose(
+            serial_history.losses, parallel_history.losses, **tol
+        )
+
+
+class _KillOnceTrainer(DataParallelTrainer):
+    """Kills worker 0 immediately before one batch step (crash drill)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.killed = False
+
+    def _parallel_step(self, batch, owner_block):
+        if not self.killed and self._pool is not None:
+            self._pool.kill(0)
+            self.killed = True
+        return super()._parallel_step(batch, owner_block)
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_restarted_and_epoch_completes(
+        self, digits_small
+    ):
+        wrapper = _KillOnceTrainer(make_trainer("vanilla"), num_workers=2)
+        try:
+            history = wrapper.fit(make_loader(digits_small), epochs=2)
+        finally:
+            wrapper.close()
+        assert wrapper.killed
+        assert len(history.losses) == 2  # both epochs completed
+        assert all(np.isfinite(history.losses))
+
+    def test_restart_is_counted(self, digits_small):
+        wrapper = _KillOnceTrainer(make_trainer("vanilla"), num_workers=2)
+        try:
+            wrapper.fit(make_loader(digits_small), epochs=1)
+            assert wrapper._pool.restarts >= 1
+        finally:
+            wrapper.close()
