@@ -16,7 +16,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import save_artifact
+from conftest import save_artifact, save_bench
 from repro.attacks import BIM, FGSM, MIM, PGD, build_attack
 from repro.data import DataLoader, load_dataset
 from repro.defenses import Trainer
@@ -137,6 +137,16 @@ def test_earlystop_sweep_speedup(trained_victim):
     ]
     text = "\n".join(lines)
     path = save_artifact("attack_earlystop.txt", text)
+    save_bench(
+        "attack_earlystop",
+        {
+            "speedup": (speedup, "x", "higher"),
+            "mask_off_ms": (t_off * 1000.0, "ms", None),
+            "mask_on_ms": (t_on * 1000.0, "ms", None),
+        },
+        context={"workload":
+                 "BIM(30) robust-accuracy sweep, digits test split"},
+    )
     print(f"\n{text}\nsaved: {path}")
     assert acc_on <= acc_off + 1e-9, "early stop must not weaken the attack"
     assert np.isfinite(speedup)

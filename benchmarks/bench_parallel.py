@@ -29,7 +29,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import save_artifact
+from conftest import save_artifact, save_bench
 from repro.data import DataLoader, load_dataset
 from repro.defenses import build_trainer
 from repro.models import build_model
@@ -113,6 +113,16 @@ def test_parallel_epoch_speedup():
     ]
     text = "\n".join(lines)
     path = save_artifact(f"parallel_speedup_{dtype}.txt", text)
+    save_bench(
+        f"parallel_speedup_{dtype}",
+        {
+            "speedup_2workers": (speedup2, "x", "higher"),
+            "speedup_4workers": (speedup4, "x", None),
+            "serial_ms": (t_serial * 1000.0, "ms", None),
+        },
+        context={"workload": "epochwise-adv CNN epoch",
+                 "dtype": dtype, "cores": cores},
+    )
     print(f"\n{text}\nsaved: {path}")
     assert np.isfinite(speedup2)
     assert speedup2 >= 1.6, (

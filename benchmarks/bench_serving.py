@@ -34,7 +34,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import save_artifact
+from conftest import save_artifact, save_bench
 from repro.models import build_model
 from repro.serving import InferenceService
 
@@ -149,6 +149,18 @@ def test_serving_microbatch_speedup():
     ]
     text = "\n".join(lines)
     path = save_artifact("serving_throughput.txt", text)
+    save_bench(
+        "serving_throughput",
+        {
+            "speedup": (speedup, "x", "higher"),
+            "batch1_rps": (float(np.median(single_rps)),
+                           "examples/s", None),
+            "batch32_rps": (float(np.median(batched_rps)),
+                            "examples/s", None),
+        },
+        context={"workload": f"small_cnn classify, {_CLIENTS} clients x "
+                 f"{_WAVE}-example waves, cache off"},
+    )
     print(f"\n{text}\nsaved: {path}")
     assert np.isfinite(speedup)
     assert speedup >= 2.0, (

@@ -27,7 +27,7 @@ import time
 
 import numpy as np
 
-from conftest import save_artifact
+from conftest import save_artifact, save_bench
 from repro.data import DataLoader, SyntheticSource, TensorSource
 from repro.defenses import build_trainer
 from repro.models import build_model
@@ -118,6 +118,16 @@ def test_streaming_epoch_speedup():
     ]
     text = "\n".join(lines)
     path = save_artifact("streaming_throughput.txt", text)
+    save_bench(
+        "streaming_throughput",
+        {
+            "ratio": (ratio, "x", "higher"),
+            "memory_rps": (rate_memory, "examples/s", None),
+            "stream_rps": (rate_stream, "examples/s", None),
+        },
+        context={"workload": "epochwise-adv CNN training, sharded",
+                 "dtype": dtype},
+    )
     print(f"\n{text}\nsaved: {path}")
 
     assert loader_s.cache.peak_bytes <= budget

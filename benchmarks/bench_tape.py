@@ -29,7 +29,7 @@ import time
 
 import numpy as np
 
-from conftest import save_artifact
+from conftest import save_artifact, save_bench
 from repro.data import DataLoader, load_dataset
 from repro.defenses import build_trainer
 from repro.models import build_model
@@ -104,6 +104,16 @@ def test_tape_epoch_speedup():
     ]
     text = "\n".join(lines)
     path = save_artifact(f"tape_speedup_{dtype}.txt", text)
+    save_bench(
+        f"tape_speedup_{dtype}",
+        {
+            "speedup": (speedup, "x", "higher"),
+            "eager_ms": (t_eager * 1000.0, "cpu-ms", None),
+            "compiled_ms": (t_replay * 1000.0, "cpu-ms", None),
+        },
+        context={"workload": "epochwise-adv CNN epoch, batch 1",
+                 "dtype": dtype},
+    )
     print(f"\n{text}\nsaved: {path}")
     assert np.isfinite(speedup)
     assert speedup >= 1.2, (

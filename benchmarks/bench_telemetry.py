@@ -20,7 +20,7 @@ import time
 
 import pytest
 
-from conftest import save_artifact
+from conftest import save_artifact, save_bench
 from repro import telemetry as tel
 from repro.data import DataLoader, load_dataset
 from repro.defenses import build_trainer
@@ -162,10 +162,79 @@ def test_telemetry_disabled_overhead(loader):
     ]
     text = "\n".join(lines)
     path = save_artifact("telemetry_overhead.txt", text)
+    save_bench(
+        "telemetry_overhead",
+        {
+            # Near-zero fractions diff terribly in relative terms (noise
+            # swamps them), so the hard bounds live in this test's asserts
+            # and the records are trajectory data, not diff gates.
+            "disabled_overhead_fraction": (fraction, "fraction", None),
+            "enabled_ratio": (t_enabled / t_disabled, "x", None),
+            "epoch_ms": (t_disabled * 1000.0, "ms", None),
+        },
+        context={"workload": "epochwise-adv MLP epoch, digits, float64"},
+    )
     print(f"\n{text}\nsaved: {path}")
     assert fraction < 0.02, (
         f"disabled-mode telemetry estimated at {fraction:.2%} of an "
         "epochwise-adv epoch (gate < 2%)"
+    )
+
+
+def test_profiler_overhead(loader):
+    """The sampling profiler must cost <5% at the default rate.
+
+    A/B at ``DEFAULT_HZ``, with bare and profiled epochs **interleaved**
+    (bare, profiled, bare, profiled, ...) so slow drift on a shared box
+    hits both sides equally; the gate compares the best round of each.
+    Unlike the disabled-telemetry estimate, this really is measurable
+    A/B — the sampler is a separate thread and its cost (GIL grabs
+    during ``sys._current_frames``) shows up directly in the epoch wall
+    clock.  Also asserts the profile itself is usable: non-empty
+    collapsed stacks that caught the training loop in the act.
+    """
+    from repro.telemetry.profiler import SamplingProfiler
+
+    _epoch(loader)  # warm caches / BLAS threads
+    profiler = SamplingProfiler()
+    bare_times, profiled_times = [], []
+    for _ in range(5):
+        bare_times.append(_timed_epoch(loader))
+        profiler.start()
+        profiled_times.append(_timed_epoch(loader))
+        profiler.stop()
+    t_bare = min(bare_times)
+    t_profiled = min(profiled_times)
+
+    overhead = t_profiled / t_bare - 1.0
+    collapsed = profiler.collapsed()
+    lines = [
+        "sampling profiler overhead: epochwise-adv MLP epoch, digits",
+        f"epoch (bare):      {t_bare * 1000:8.2f} ms",
+        f"epoch (profiled):  {t_profiled * 1000:8.2f} ms "
+        f"({overhead:+.2%}, gate < 5%)",
+        f"samples: {profiler.samples}  distinct stacks: "
+        f"{len(profiler.stacks)}  rate: {profiler.hz} Hz",
+    ]
+    text = "\n".join(lines)
+    path = save_artifact("profiler_overhead.txt", text)
+    save_bench(
+        "profiler_overhead",
+        {
+            "overhead_fraction": (max(overhead, 0.0), "fraction", None),
+            "samples": (profiler.samples, "samples", None),
+        },
+        context={"hz": profiler.hz},
+    )
+    print(f"\n{text}\nsaved: {path}")
+    assert profiler.samples > 0, "sampler never fired"
+    assert collapsed, "profiler produced no collapsed stacks"
+    assert "train_epoch" in collapsed, (
+        "profile never caught the training loop"
+    )
+    # Negative readings are timing noise in the bare measurement.
+    assert overhead < 0.05, (
+        f"profiler added {overhead:.2%} to an epoch (gate < 5%)"
     )
 
 

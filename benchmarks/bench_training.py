@@ -19,7 +19,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import save_artifact
+from conftest import save_artifact, save_bench
 from repro.data import DataLoader, load_dataset
 from repro.defenses import build_trainer
 from repro.models import mnist_cnn, mnist_mlp
@@ -126,6 +126,15 @@ def test_hotpath_epoch_speedup():
     ]
     text = "\n".join(lines)
     path = save_artifact("hotpath_speedup.txt", text)
+    save_bench(
+        "hotpath_speedup",
+        {
+            "speedup": (speedup, "x", "higher"),
+            "before_ms": (t_base * 1000.0, "ms", None),
+            "after_ms": (t_fast * 1000.0, "ms", None),
+        },
+        context={"workload": "epochwise-adv CNN epoch, float64"},
+    )
     print(f"\n{text}\nsaved: {path}")
     assert np.isfinite(speedup)
     assert speedup >= 1.25, (
@@ -165,6 +174,15 @@ def test_float32_epoch_speedup(loaders):
     ]
     text = "\n".join(lines)
     path = save_artifact("dtype_speedup.txt", text)
+    save_bench(
+        "dtype_speedup",
+        {
+            "ratio": (ratio, "x", "lower"),
+            "float64_ms": (t64 * 1000.0, "ms", None),
+            "float32_ms": (t32 * 1000.0, "ms", None),
+        },
+        context={"workload": "proposed defense epoch, digits"},
+    )
     print(f"\n{text}\nsaved: {path}")
     assert np.isfinite(ratio)
     assert ratio <= 0.8, (

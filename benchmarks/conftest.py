@@ -51,6 +51,25 @@ def save_artifact(name: str, text: str) -> str:
     return path
 
 
+def save_bench(name: str, metrics: dict, context: dict = None) -> str:
+    """Write a structured ``<name>.bench.json`` record beside the ``.txt``.
+
+    ``metrics`` maps metric name to ``(value, unit, direction)`` where
+    direction is ``"higher"``/``"lower"``/``None`` (see
+    :mod:`repro.telemetry.bench`).  ``REPRO_BENCH_RESULTS`` redirects the
+    record to another directory — CI writes fresh records to a scratch
+    dir and diffs them against the committed baselines here via
+    ``repro bench diff`` instead of overwriting them.
+    """
+    from repro.telemetry.bench import BenchRecord
+
+    record = BenchRecord(name, context=context)
+    for metric, (value, unit, direction) in metrics.items():
+        record.add(metric, value, unit=unit, direction=direction)
+    directory = os.environ.get("REPRO_BENCH_RESULTS", "").strip()
+    return record.save(directory or RESULTS_DIR)
+
+
 @pytest.fixture(scope="session")
 def digits_pool():
     """Trained-classifier pool for the digit dataset (shared by benches)."""

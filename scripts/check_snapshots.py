@@ -35,6 +35,7 @@ REQUIRED_SNAPSHOTS = (
     "benchmarks/results/hotpath_speedup.txt",
     "benchmarks/results/tape_speedup_float64.txt",
     "benchmarks/results/telemetry_overhead.txt",
+    "benchmarks/results/profiler_overhead.txt",
     "benchmarks/results/serving_throughput.txt",
     "benchmarks/results/streaming_throughput.txt",
 )

@@ -9,11 +9,20 @@ Usage::
     python -m repro audit   --defense proposed
     python -m repro table1  --telemetry run.jsonl
     python -m repro report  run.jsonl
+    python -m repro report  run.jsonl --trace
+    python -m repro profile table1 --scale smoke
+    python -m repro bench diff
 
 Artefacts are printed and optionally saved as JSON via ``--save``.
 ``--telemetry PATH`` records the run (spans, counters, events) as a JSONL
 run record; ``repro report PATH`` renders it into the Table-I-style
-per-epoch/per-phase timing summary.
+per-epoch/per-phase timing summary, and ``--trace`` renders the merged
+cross-process trace trees instead (workers and serving threads spool
+span records beside the run record).  ``repro profile <subcommand>`` (or
+``--profile PATH`` on any artefact subcommand) samples all threads and
+writes a collapsed-stack flamegraph profile; ``repro bench diff``
+compares ``*.bench.json`` benchmark records against the committed
+baselines in ``benchmarks/results/`` and fails on regressions.
 """
 
 from __future__ import annotations
@@ -268,6 +277,11 @@ def _cmd_report(args) -> int:
     """Render a telemetry JSONL run record into the timing report."""
     from .telemetry import build_report
 
+    if args.trace is not None:
+        from .telemetry.trace import render_trace
+
+        print(render_trace(args.path, trace_id=args.trace or None))
+        return 0
     report = build_report(args.path)
     print(report.render(per_epoch=not args.summary))
     if args.csv:
@@ -289,6 +303,44 @@ def _cmd_report(args) -> int:
                 )
         print(f"per-epoch CSV written to {args.csv}")
     return 0
+
+
+def _cmd_profile(args) -> int:
+    """Run another subcommand under the sampling profiler."""
+    from .telemetry.profiler import DEFAULT_HZ, SamplingProfiler
+
+    rest = [a for a in args.args if a != "--"]
+    if not rest:
+        print("usage: repro profile [--out PATH] [--hz N] <subcommand> ...")
+        return 2
+    profiler = SamplingProfiler(hz=args.hz or DEFAULT_HZ)
+    profiler.start()
+    try:
+        code = main(rest)
+    finally:
+        profiler.stop()
+    path = profiler.save(args.out)
+    print(
+        f"sampling profile: {profiler.samples} sample(s) at "
+        f"{profiler.hz} Hz -> {path}"
+    )
+    for frame, count in profiler.top(5):
+        print(f"  {count:>6}  {frame}")
+    return code
+
+
+def _cmd_bench_diff(args) -> int:
+    """Compare fresh benchmark records against the committed baselines."""
+    from .telemetry.bench import diff_records, load_bench_dir, render_diff
+
+    baseline = load_bench_dir(args.baseline)
+    if not baseline:
+        print(f"no *.bench.json baseline records under {args.baseline}")
+        return 2
+    current = load_bench_dir(args.current or args.baseline)
+    rows = diff_records(baseline, current, tolerance=args.tolerance)
+    print(render_diff(rows, tolerance=args.tolerance))
+    return 1 if any(row.status == "regression" for row in rows) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -321,6 +373,13 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="record the run's telemetry (spans, counters, events) as "
             "a JSONL run record at PATH; render it with 'repro report'",
+        )
+        p.add_argument(
+            "--profile",
+            default="",
+            metavar="PATH",
+            help="sample every thread during the run and write a "
+            "collapsed-stack (flamegraph-format) profile to PATH",
         )
         p.add_argument(
             "--workers",
@@ -457,9 +516,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", default="", metavar="PATH",
         help="also write the per-epoch phase table as CSV",
     )
+    p_report.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="TRACE_ID",
+        help="render the merged cross-process trace tree(s) instead of "
+        "the timing report; optionally select one trace by id prefix",
+    )
     p_report.set_defaults(func=_cmd_report)
 
+    p_profile = sub.add_parser(
+        "profile",
+        help="run a subcommand under the all-thread sampling profiler",
+    )
+    p_profile.add_argument(
+        "--out", default="profile.collapsed", metavar="PATH",
+        help="collapsed-stack output path (flamegraph.pl / speedscope)",
+    )
+    p_profile.add_argument(
+        "--hz", type=int, default=0, metavar="N",
+        help="samples per second (default: 29)",
+    )
+    p_profile.add_argument(
+        "args", nargs=argparse.REMAINDER,
+        help="the repro subcommand (and its flags) to profile",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_bench = sub.add_parser(
+        "bench", help="perf-regression tracking over *.bench.json records"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_diff = bench_sub.add_parser(
+        "diff",
+        help="diff benchmark records against the committed baselines",
+    )
+    p_diff.add_argument(
+        "current", nargs="?", default="",
+        help="directory of fresh *.bench.json records (default: the "
+        "baseline directory itself — a self-consistency check)",
+    )
+    p_diff.add_argument(
+        "--baseline", default="benchmarks/results", metavar="DIR",
+        help="committed baseline records (default: benchmarks/results)",
+    )
+    p_diff.add_argument(
+        "--tolerance", type=float, default=0.10, metavar="FRACTION",
+        help="allowed fractional move in the worse direction before a "
+        "metric counts as a regression (default: 0.10)",
+    )
+    p_diff.set_defaults(func=_cmd_bench_diff)
+
     return parser
+
+
+@contextlib.contextmanager
+def _profiled(path: str):
+    """Sample every thread for the scope; write the collapsed stacks."""
+    from .telemetry.profiler import SamplingProfiler
+
+    profiler = SamplingProfiler()
+    profiler.start()
+    try:
+        yield
+    finally:
+        profiler.stop()
+        profiler.save(path)
+        print(
+            f"sampling profile: {profiler.samples} sample(s) at "
+            f"{profiler.hz} Hz -> {path}"
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -467,6 +595,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     dtype = getattr(args, "dtype", "")
     telemetry = getattr(args, "telemetry", "")
+    profile = getattr(args, "profile", "")
     # Activate the requested precision for the whole dispatch so code paths
     # outside ClassifierPool (evaluation, audits) also run in that dtype;
     # likewise the telemetry capture wraps training AND evaluation so the
@@ -475,7 +604,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     tel_scope = (
         tel_capture(jsonl=telemetry) if telemetry else contextlib.nullcontext()
     )
-    with scope, tel_scope:
+    prof_scope = _profiled(profile) if profile else contextlib.nullcontext()
+    with scope, tel_scope, prof_scope:
         return args.func(args)
 
 

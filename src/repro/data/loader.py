@@ -265,11 +265,19 @@ class DataLoader:
         batch ahead while the trainer works on the current one.  The
         producer checks ``stop`` on every blocked put, so abandoning the
         iterator (or an exception in the trainer) tears it down promptly.
-        All telemetry is emitted from the consumer thread — the telemetry
-        and workspace states are thread-local.
+        Counters are emitted from the consumer thread (span stacks are
+        thread-local); the producer opens its own ``data.prefetch`` span
+        under the consumer's trace context, so the background gather work
+        appears in the same trace as the epoch that consumed it.
         """
         out: "queue_module.Queue" = queue_module.Queue(maxsize=2)
         stop = threading.Event()
+        # Captured on the consumer thread, adopted by the producer: the
+        # enabled flag and span stack are thread-local, so without this
+        # handoff a fresh producer thread records nothing (and its span
+        # would start an unrelated trace).
+        traced = tel.enabled()
+        ctx = tel.current_context() if traced else None
 
         def put(item) -> bool:
             while not stop.is_set():
@@ -282,9 +290,17 @@ class DataLoader:
 
         def produce() -> None:
             try:
-                for idx in self._batch_slices(order):
-                    if not put(self._gather(idx, dtype)):
-                        return
+                if traced:
+                    tel.set_enabled(True)  # thread-local; thread is ours
+                with tel.trace_context(ctx), tel.span(
+                    "data.prefetch", thread="producer"
+                ) as prefetch_span:
+                    produced = 0
+                    for idx in self._batch_slices(order):
+                        if not put(self._gather(idx, dtype)):
+                            return
+                        produced += 1
+                    prefetch_span.note(batches=produced)
                 put(_DONE)
             except BaseException as error:  # surfaced in the consumer
                 put(_PrefetchFailure(error))

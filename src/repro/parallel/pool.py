@@ -29,11 +29,13 @@ import traceback
 from typing import Any, Callable, List, Optional
 
 from .. import telemetry as tel
+from ..telemetry import trace as teltrace
 
 __all__ = ["WorkerCrash", "WorkerError", "WorkerPool", "resolve_workers"]
 
 _FORK = multiprocessing.get_context("fork")
 _STOP = "__stop__"
+_TRACED = "__traced__"
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -83,8 +85,22 @@ def _worker_main(handler: Callable[[int, Any], Any], worker_id: int, conn):
             break
         if message == _STOP:
             break
+        # Traced envelope from WorkerPool.send: adopt the parent's trace
+        # context (so spans this handler emits join the parent's trace)
+        # and make sure this process has a spool file to emit them into.
+        ctx = None
+        if (
+            isinstance(message, tuple)
+            and len(message) == 4
+            and message[0] == _TRACED
+        ):
+            _, raw_ctx, spool, message = message
+            ctx = tel.TraceContext(*raw_ctx)
+            if spool is not None:
+                teltrace.ensure_spool(spool)
         try:
-            reply = handler(worker_id, message)
+            with tel.trace_context(ctx):
+                reply = handler(worker_id, message)
         except Exception:
             conn.send(("error", traceback.format_exc()))
         else:
@@ -207,7 +223,21 @@ class WorkerPool:
     # messaging
     # ------------------------------------------------------------------
     def send(self, worker_id: int, message: Any) -> None:
-        """Dispatch one message to a worker (non-blocking)."""
+        """Dispatch one message to a worker (non-blocking).
+
+        When telemetry is enabled and the caller sits inside a traced
+        span, the message travels in a ``(_TRACED, ctx, spool, payload)``
+        envelope: the worker adopts the trace context for the duration of
+        the handler call, so every span it emits carries the parent's
+        ``trace_id`` and parents onto the dispatching span.  The capture's
+        spool directory rides along so the worker knows where to emit.
+        """
+        if tel.enabled():
+            ctx = tel.current_context()
+            if ctx is not None:
+                message = (
+                    _TRACED, tuple(ctx), teltrace.spool_dir(), message
+                )
         worker = self._workers[worker_id]
         try:
             worker.conn.send(message)

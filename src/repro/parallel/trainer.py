@@ -180,7 +180,13 @@ class _WorkerContext:
             y=self.y_sh.array[:n][rows],
             indices=indices[rows].copy(),
         )
-        with tel.span("shard", emit=False) as shard_span:
+        # As a root span in the child the shard emits (to this worker's
+        # spool file when the capture armed one), joining the parent's
+        # trace via the context the pool envelope delivered; its children
+        # still fold into the reply for the parent-side ``parallel`` fold.
+        with tel.span(
+            "shard", worker=worker_id, epoch=epoch, examples=n_shard
+        ) as shard_span:
             trainer.optimizer.zero_grad()
             loss_value = (
                 trainer._compiled_batch(batch) if compiled_enabled() else None

@@ -142,6 +142,7 @@ class MicroBatcher:
         self._batches = 0
         self._requests = 0
         self._shed = 0
+        self._timeouts = 0
         self._worker = threading.Thread(
             target=self._loop, name=f"repro-serve-{name}", daemon=True
         )
@@ -157,8 +158,12 @@ class MicroBatcher:
         if self._closed.is_set():
             raise ServiceClosed(f"{self.name}: batcher is shut down")
         future: Future = Future()
+        # The submitting thread's trace context rides the queue with the
+        # request, so the batch executing on the worker thread can join
+        # the trace of the request(s) it serves.
+        ctx = tel.current_context() if tel.enabled() else None
         try:
-            self._queue.put_nowait((payload, future))
+            self._queue.put_nowait((payload, future, ctx))
         except queue.Full:
             self._shed += 1
             self._metrics.inc(f"serving.{self.name}.shed")
@@ -183,6 +188,8 @@ class MicroBatcher:
         try:
             return future.result(timeout)
         except FutureTimeout:
+            self._timeouts += 1
+            self._metrics.inc(f"serving.{self.name}.timeouts")
             raise RequestTimeout(
                 f"{self.name}: no result within {timeout:.3f}s"
             ) from None
@@ -218,11 +225,35 @@ class MicroBatcher:
             batch.append(item)
         return batch
 
+    def _run_traced(self, payloads, ctxs):
+        """Run the batch, traced when any request carried a context.
+
+        The batch span parents on the *first* traced request; the other
+        coalesced requests are recorded as ``links`` (their contexts, in
+        header format) since a span has exactly one parent but a batch
+        serves many requests.  ``enabled`` is thread-local, so it is
+        switched on here just for the batch — the worker thread otherwise
+        keeps the process default.
+        """
+        if not ctxs:
+            return self._run_batch(payloads)
+        attrs = {"batcher": self.name, "size": len(payloads)}
+        if len(ctxs) > 1:
+            attrs["links"] = [f"{c.trace_id}-{c.span_id}" for c in ctxs[1:]]
+        previous = tel.set_enabled(True)
+        try:
+            with tel.trace_context(ctxs[0]):
+                with tel.span("serving.batch", **attrs):
+                    return self._run_batch(payloads)
+        finally:
+            tel.set_enabled(previous)
+
     def _execute(self, batch) -> None:
         started = time.perf_counter()
-        payloads = [payload for payload, _future in batch]
+        payloads = [payload for payload, _future, _ctx in batch]
+        ctxs = [ctx for _payload, _future, ctx in batch if ctx is not None]
         try:
-            results = self._run_batch(payloads)
+            results = self._run_traced(payloads, ctxs)
             if len(results) != len(batch):
                 raise RuntimeError(
                     f"{self.name}: run_batch returned {len(results)} "
@@ -230,11 +261,11 @@ class MicroBatcher:
                 )
         except BaseException as exc:  # noqa: BLE001 - routed to callers
             self._metrics.inc(f"serving.{self.name}.batch_errors")
-            for _payload, future in batch:
+            for _payload, future, _ctx in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
-        for (_payload, future), result in zip(batch, results):
+        for (_payload, future, _ctx), result in zip(batch, results):
             if not future.done():
                 future.set_result(result)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
@@ -261,7 +292,7 @@ class MicroBatcher:
                 break
             if item is _SENTINEL:
                 continue
-            _payload, future = item
+            _payload, future, _ctx = item
             if not future.done():
                 future.set_exception(
                     ServiceClosed(f"{self.name}: batcher is shut down")
@@ -292,6 +323,7 @@ class MicroBatcher:
             "requests": self._requests,
             "batches": self._batches,
             "shed": self._shed,
+            "timeouts": self._timeouts,
             "queue_depth": self._queue.qsize(),
             "max_batch_size": self.max_batch_size,
             "max_wait_us": int(round(self.max_wait_s * 1e6)),

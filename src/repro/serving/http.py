@@ -22,7 +22,22 @@ Endpoints
     Liveness payload.
 ``GET /metrics``
     Full telemetry snapshot: counters, gauges, histograms (with
-    p50/p90/p99), batcher and prediction-cache stats.
+    p50/p90/p99), batcher and prediction-cache stats.  JSON by default;
+    an ``Accept`` header naming ``application/openmetrics-text`` or
+    ``text/plain`` gets the OpenMetrics text exposition instead
+    (:mod:`repro.telemetry.openmetrics`), so Prometheus-style scrapers
+    work unmodified.
+
+Distributed tracing
+-------------------
+A request carrying an ``X-Repro-Trace: <trace_id>-<span_id>`` header is
+served inside a ``serving.request`` span parented on the caller's
+context: the handler thread enables telemetry for the request's duration,
+the span's context flows through the micro-batcher to the batch that
+executes the forward pass, and the response echoes ``X-Repro-Trace`` with
+the request span's ids so the client can locate its spans in the server's
+run record (``repro report RUN --trace``).  Malformed headers are
+ignored, never an error.
 
 Failure mapping: shed requests are ``429 {"error": "overloaded"}``,
 missed deadlines ``504 {"error": "timeout"}``, shutdown ``503
@@ -36,6 +51,9 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
+from .. import telemetry as tel
+from ..telemetry import trace as teltrace
+from ..telemetry.openmetrics import CONTENT_TYPE, render_service_metrics
 from .batching import ServingError
 from .service import InferenceService
 
@@ -59,9 +77,15 @@ class ServingHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode()
+        self._send_body(status, "application/json", body)
+
+    def _send_body(self, status: int, content_type: str, body: bytes) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        response_trace = getattr(self, "_response_trace", None)
+        if response_trace is not None:
+            self.send_header(teltrace.TRACE_HEADER, response_trace)
         self.end_headers()
         self.wfile.write(body)
 
@@ -88,30 +112,78 @@ class ServingHandler(BaseHTTPRequestHandler):
                 500, {"error": "internal", "detail": str(exc)}
             )
 
+    # -- tracing ----------------------------------------------------------
+    def _dispatch(self, method: str, route) -> None:
+        """Run ``route`` inside a ``serving.request`` span when traced.
+
+        ``enabled`` is thread-local and handler threads are fresh per
+        connection, so tracing a request costs nothing unless the client
+        asked for it by sending ``X-Repro-Trace``.
+        """
+        # Reset per request: handler instances persist across keep-alive
+        # requests, and an untraced request must not echo a stale header.
+        self._response_trace = None
+        ctx = teltrace.parse_trace_header(
+            self.headers.get(teltrace.TRACE_HEADER)
+        )
+        if ctx is None:
+            try:
+                route()
+            except Exception as exc:  # noqa: BLE001 - becomes the response
+                self._fail(exc)
+            return
+        previous = tel.set_enabled(True)
+        try:
+            with tel.trace_context(ctx):
+                with tel.span(
+                    "serving.request", method=method, path=self.path
+                ):
+                    own = tel.current_context()
+                    if own is not None:
+                        self._response_trace = teltrace.format_trace_header(
+                            own
+                        )
+                    try:
+                        route()
+                    except Exception as exc:  # noqa: BLE001
+                        self._fail(exc)
+        finally:
+            tel.set_enabled(previous)
+
     # -- routes -----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        service = self.server.service
-        try:
-            if self.path == "/healthz":
-                self._send_json(200, service.healthz())
-            elif self.path == "/metrics":
-                self._send_json(200, service.metrics())
-            else:
-                self._send_json(404, {"error": "not_found"})
-        except Exception as exc:  # noqa: BLE001 - becomes the response
-            self._fail(exc)
+        self._dispatch("GET", self._route_get)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST", self._route_post)
+
+    def _route_get(self) -> None:
         service = self.server.service
-        try:
-            if self.path == "/classify":
-                self._send_json(200, self._classify(service))
-            elif self.path == "/audit":
-                self._send_json(200, self._audit(service))
-            else:
-                self._send_json(404, {"error": "not_found"})
-        except Exception as exc:  # noqa: BLE001 - becomes the response
-            self._fail(exc)
+        if self.path == "/healthz":
+            self._send_json(200, service.healthz())
+        elif self.path == "/metrics":
+            self._metrics(service)
+        else:
+            self._send_json(404, {"error": "not_found"})
+
+    def _route_post(self) -> None:
+        service = self.server.service
+        if self.path == "/classify":
+            self._send_json(200, self._classify(service))
+        elif self.path == "/audit":
+            self._send_json(200, self._audit(service))
+        else:
+            self._send_json(404, {"error": "not_found"})
+
+    def _metrics(self, service: InferenceService) -> None:
+        payload = service.metrics()
+        accept = (self.headers.get("Accept") or "").lower()
+        if "application/openmetrics-text" in accept or "text/plain" in accept:
+            self._send_body(
+                200, CONTENT_TYPE, render_service_metrics(payload).encode()
+            )
+        else:
+            self._send_json(200, payload)
 
     def _classify(self, service: InferenceService) -> dict:
         payload = self._read_json()

@@ -30,9 +30,11 @@ from .core import (
     NULL_SPAN,
     Span,
     Stopwatch,
+    TraceContext,
     add_sink,
     capture,
     counter,
+    current_context,
     current_span,
     enabled,
     event,
@@ -43,6 +45,7 @@ from .core import (
     reset_metrics,
     set_enabled,
     span,
+    trace_context,
 )
 from .report import RunReport, build_report, render_report
 from .sinks import (
@@ -52,6 +55,20 @@ from .sinks import (
     Sink,
     SummarySink,
     load_records,
+)
+from .bench import (
+    BenchRecord,
+    diff_records,
+    load_bench_dir,
+    render_diff,
+)
+from .profiler import DEFAULT_HZ, SamplingProfiler
+from .trace import (
+    TRACE_HEADER,
+    TraceCollector,
+    format_trace_header,
+    parse_trace_header,
+    render_trace,
 )
 
 __all__ = [
@@ -82,4 +99,18 @@ __all__ = [
     "RunReport",
     "build_report",
     "render_report",
+    "TraceContext",
+    "current_context",
+    "trace_context",
+    "TRACE_HEADER",
+    "TraceCollector",
+    "format_trace_header",
+    "parse_trace_header",
+    "render_trace",
+    "SamplingProfiler",
+    "DEFAULT_HZ",
+    "BenchRecord",
+    "load_bench_dir",
+    "diff_records",
+    "render_diff",
 ]

@@ -1,0 +1,259 @@
+"""Perf-regression tracking: structured bench records and baseline diffs.
+
+The ``benchmarks/`` gates have always written human-readable ``.txt``
+snapshots into ``benchmarks/results/`` — fine for reading, useless for
+*detecting* decay: nothing compared a fresh run against the committed
+numbers.  This module adds the machine half:
+
+* :class:`BenchRecord` — one benchmark's metrics in a stable JSON schema,
+  written as ``<name>.bench.json`` beside the ``.txt`` snapshot;
+* :func:`diff_records` / :func:`render_diff` — compare a directory of
+  fresh records against the committed baselines with a configurable
+  tolerance, classifying each metric as ok / improved / **regression**;
+* the ``repro bench diff`` CLI (see :mod:`repro.cli`) wires this into CI
+  so a throughput or speedup regression fails the build loudly.
+
+Schema
+------
+.. code-block:: json
+
+    {"schema": 1,
+     "name": "serving_throughput",
+     "created": 1754500000.0,
+     "context": {"dtype": "float64", "scale": "smoke"},
+     "metrics": {"examples_per_s": {"value": 5719.9,
+                                    "unit": "examples/s",
+                                    "direction": "higher"}}}
+
+``direction`` declares which way is better: ``"higher"`` (throughput,
+speedup), ``"lower"`` (latency, overhead) or ``null`` (informational —
+never gated).  A metric regresses when it moves past the tolerance in
+its *worse* direction; moves in the better direction are reported as
+improvements, not failures (ratchet the baseline by re-running the bench
+and committing the new record).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "BENCH_SUFFIX",
+    "BenchRecord",
+    "load_bench_dir",
+    "diff_records",
+    "render_diff",
+    "DiffRow",
+]
+
+BENCH_SUFFIX = ".bench.json"
+
+_DIRECTIONS = ("higher", "lower", None)
+
+
+class BenchRecord:
+    """One benchmark run's metrics, serialisable to ``<name>.bench.json``."""
+
+    def __init__(
+        self,
+        name: str,
+        metrics: Optional[Dict[str, dict]] = None,
+        context: Optional[dict] = None,
+        created: Optional[float] = None,
+    ) -> None:
+        self.name = name
+        self.metrics: Dict[str, dict] = {}
+        self.context = dict(context or {})
+        self.created = time.time() if created is None else float(created)
+        for metric, spec in (metrics or {}).items():
+            self.add(metric, **spec)
+
+    def add(
+        self,
+        metric: str,
+        value: float,
+        unit: str = "",
+        direction: Optional[str] = None,
+    ) -> "BenchRecord":
+        """Record one metric; ``direction`` is higher/lower/None-better."""
+        if direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be 'higher', 'lower' or None, "
+                f"got {direction!r}"
+            )
+        self.metrics[metric] = {
+            "value": float(value), "unit": unit, "direction": direction,
+        }
+        return self
+
+    # -- (de)serialisation ---------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": 1,
+            "name": self.name,
+            "created": self.created,
+            "context": self.context,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchRecord":
+        record = cls(
+            payload["name"],
+            context=payload.get("context"),
+            created=payload.get("created"),
+        )
+        for metric, spec in payload.get("metrics", {}).items():
+            record.add(
+                metric,
+                spec["value"],
+                unit=spec.get("unit", ""),
+                direction=spec.get("direction"),
+            )
+        return record
+
+    def save(self, directory: str) -> str:
+        """Write ``<directory>/<name>.bench.json``; returns the path."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.name}{BENCH_SUFFIX}")
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "BenchRecord":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def load_bench_dir(directory: str) -> Dict[str, BenchRecord]:
+    """Every ``*.bench.json`` under ``directory``, keyed by bench name."""
+    records: Dict[str, BenchRecord] = {}
+    for path in sorted(glob.glob(os.path.join(directory, f"*{BENCH_SUFFIX}"))):
+        record = BenchRecord.load(path)
+        records[record.name] = record
+    return records
+
+
+class DiffRow:
+    """One metric's baseline-vs-current comparison."""
+
+    __slots__ = (
+        "bench", "metric", "baseline", "current", "unit",
+        "direction", "change", "status",
+    )
+
+    def __init__(self, bench, metric, baseline, current, unit,
+                 direction, change, status) -> None:
+        self.bench = bench
+        self.metric = metric
+        self.baseline = baseline
+        self.current = current
+        self.unit = unit
+        self.direction = direction
+        self.change = change
+        self.status = status
+
+
+def _classify(
+    baseline: float, current: float, direction: Optional[str],
+    tolerance: float,
+) -> str:
+    if direction is None:
+        return "info"
+    if baseline == 0.0:
+        # No meaningful ratio; only flag a directional move off zero.
+        worse = current < 0 if direction == "higher" else current > 0
+        return "regression" if worse else "ok"
+    change = (current - baseline) / abs(baseline)
+    if direction == "higher":
+        if change < -tolerance:
+            return "regression"
+        return "improved" if change > tolerance else "ok"
+    if change > tolerance:
+        return "regression"
+    return "improved" if change < -tolerance else "ok"
+
+
+def diff_records(
+    baseline: Dict[str, BenchRecord],
+    current: Dict[str, BenchRecord],
+    tolerance: float = 0.10,
+) -> List[DiffRow]:
+    """Compare current records against baselines, metric by metric.
+
+    A bench present in the baselines but absent from the current run is
+    *skipped* (status ``missing``, never failing): bench lanes run
+    different subsets per CI job, and an unrun bench is not a regression.
+    Unknown current-only benches are ignored for the same reason — they
+    gain a baseline when their record is committed.
+    """
+    rows: List[DiffRow] = []
+    for name in sorted(baseline):
+        base_record = baseline[name]
+        cur_record = current.get(name)
+        for metric in sorted(base_record.metrics):
+            spec = base_record.metrics[metric]
+            cur_spec = (
+                cur_record.metrics.get(metric)
+                if cur_record is not None else None
+            )
+            if cur_spec is None:
+                rows.append(DiffRow(
+                    name, metric, spec["value"], None, spec.get("unit", ""),
+                    spec.get("direction"), None, "missing",
+                ))
+                continue
+            base_value = spec["value"]
+            cur_value = cur_spec["value"]
+            change = (
+                (cur_value - base_value) / abs(base_value)
+                if base_value else None
+            )
+            rows.append(DiffRow(
+                name, metric, base_value, cur_value, spec.get("unit", ""),
+                spec.get("direction"),
+                change,
+                _classify(
+                    base_value, cur_value, spec.get("direction"), tolerance
+                ),
+            ))
+    return rows
+
+
+def render_diff(rows: List[DiffRow], tolerance: float = 0.10) -> str:
+    """Human-readable diff table with a pass/fail verdict line."""
+    if not rows:
+        return "bench diff: no baseline records found"
+    header = (
+        f"{'bench':<28} {'metric':<24} {'baseline':>12} "
+        f"{'current':>12} {'change':>8}  status"
+    )
+    lines = [header, "-" * len(header)]
+    regressions = 0
+    for row in rows:
+        current = "-" if row.current is None else f"{row.current:.4g}"
+        change = "-" if row.change is None else f"{row.change:+.1%}"
+        lines.append(
+            f"{row.bench:<28} {row.metric:<24} {row.baseline:>12.4g} "
+            f"{current:>12} {change:>8}  {row.status}"
+        )
+        if row.status == "regression":
+            regressions += 1
+    compared = sum(1 for row in rows if row.status != "missing")
+    if regressions:
+        lines.append(
+            f"FAIL: {regressions} regression(s) past the "
+            f"{tolerance:.0%} tolerance ({compared} metric(s) compared)"
+        )
+    else:
+        lines.append(
+            f"ok: no regressions past the {tolerance:.0%} tolerance "
+            f"({compared} metric(s) compared)"
+        )
+    return "\n".join(lines)

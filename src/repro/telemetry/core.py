@@ -37,9 +37,10 @@ from __future__ import annotations
 import bisect
 import contextlib
 import os
+import random
 import threading
 import time
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, NamedTuple, Optional
 
 __all__ = [
     "Stopwatch",
@@ -48,6 +49,9 @@ __all__ = [
     "current_span",
     "enabled",
     "set_enabled",
+    "TraceContext",
+    "current_context",
+    "trace_context",
     "Histogram",
     "MetricsRegistry",
     "counter",
@@ -134,9 +138,17 @@ class _TelemetryState(threading.local):
     def __init__(self) -> None:
         self.stack: List["Span"] = []
         self.enabled = _default_enabled()
+        self.remote: Optional["TraceContext"] = None
 
 
 _state = _TelemetryState()
+
+#: thread ident -> name of that thread's innermost active span.  Written by
+#: :meth:`Span.__enter__`/`__exit__` (enabled mode only) and read by the
+#: sampling profiler, which runs on its own thread and cannot reach the
+#: thread-local span stacks.  Plain dict: single-opcode updates under the
+#: GIL, and the profiler tolerates a momentarily stale entry.
+_active_spans: Dict[int, str] = {}
 
 
 def enabled() -> bool:
@@ -158,6 +170,63 @@ def current_span() -> Optional["Span"]:
 
 
 # ----------------------------------------------------------------------
+# Trace identity.
+# ----------------------------------------------------------------------
+
+def _new_id() -> str:
+    """A 64-bit hex id (W3C-trace-context-sized, stdlib ``random``)."""
+    return f"{random.getrandbits(64):016x}"
+
+
+class TraceContext(NamedTuple):
+    """Propagatable trace identity: ``(trace_id, span_id)``.
+
+    ``trace_id`` names the whole distributed trace; ``span_id`` the span
+    new root spans should parent on.  The tuple travels over worker
+    control pipes, thread handoffs and the ``X-Repro-Trace`` HTTP header
+    (see :mod:`repro.telemetry.trace` for the header codec).
+    """
+
+    trace_id: str
+    span_id: str
+
+
+def current_context() -> Optional[TraceContext]:
+    """The trace context new remote/child work should parent on.
+
+    Walks this thread's span stack innermost-first for the nearest span
+    that will *emit* a record (nested ``emit=None`` spans only fold into
+    their parents — parenting on them would dangle); falls back to the
+    remote context activated by :func:`trace_context`, then ``None``.
+    """
+    stack = _state.stack
+    for open_span in reversed(stack):
+        if open_span._will_emit():
+            return TraceContext(
+                open_span._resolve_trace_id(), open_span.span_id
+            )
+    return _state.remote
+
+
+@contextlib.contextmanager
+def trace_context(ctx: Optional[TraceContext]) -> Iterator[None]:
+    """Adopt a remote trace context for this thread's new root spans.
+
+    Workers, serving threads and the prefetch producer wrap their work in
+    this scope so root spans they open join the caller's trace instead of
+    starting their own.  ``None`` is accepted (no-op scope) so call sites
+    need no conditional.
+    """
+    previous = _state.remote
+    if ctx is not None:
+        _state.remote = TraceContext(*ctx)
+    try:
+        yield
+    finally:
+        _state.remote = previous
+
+
+# ----------------------------------------------------------------------
 # Spans.
 # ----------------------------------------------------------------------
 
@@ -172,7 +241,7 @@ class Span:
 
     __slots__ = (
         "name", "attrs", "emit", "children", "duration", "wall_start",
-        "_watch",
+        "_watch", "trace_id", "_span_id", "_parent_span", "_remote",
     )
 
     def __init__(
@@ -185,11 +254,63 @@ class Span:
         self.duration: float = 0.0
         self.wall_start: float = 0.0
         self._watch = Stopwatch()
+        # Trace identity: ids are generated lazily (only spans that emit,
+        # or are asked for their context, ever pay for one).  The parent
+        # reference chain is captured at __enter__ so ids resolve even
+        # after the stack has been popped.
+        self.trace_id: Optional[str] = None
+        self._span_id: Optional[str] = None
+        self._parent_span: Optional["Span"] = None
+        self._remote: Optional[TraceContext] = None
 
     def note(self, **attrs) -> "Span":
         """Attach result attributes (loss, accuracy, ...) to the record."""
         self.attrs.update(attrs)
         return self
+
+    # -- trace identity ------------------------------------------------
+    @property
+    def span_id(self) -> str:
+        """This span's id, generated on first access."""
+        sid = self._span_id
+        if sid is None:
+            sid = self._span_id = _new_id()
+        return sid
+
+    def _will_emit(self) -> bool:
+        """Whether this (entered) span will dispatch a record on exit."""
+        if self.emit is not None:
+            return self.emit
+        return self._parent_span is None
+
+    def _resolve_trace_id(self) -> str:
+        """Trace id shared by this span's whole local tree.
+
+        Walks to the local root; the root inherits the adopted remote
+        context's trace, else mints a fresh one (cached on the root so
+        every descendant resolves identically).
+        """
+        node = self
+        while node._parent_span is not None:
+            node = node._parent_span
+        tid = node.trace_id
+        if tid is None:
+            remote = node._remote
+            tid = remote.trace_id if remote is not None else _new_id()
+            node.trace_id = tid
+        return tid
+
+    def _resolve_parent_id(self) -> Optional[str]:
+        """Span id of the nearest *emitting* ancestor (local or remote)."""
+        node = self._parent_span
+        while node is not None:
+            if node._will_emit():
+                return node.span_id
+            if node._parent_span is None:
+                break
+            node = node._parent_span
+        remote = node._remote if node is not None else self._remote
+        return remote.span_id if remote is not None else None
 
     def _fold(self, path: str, count: float, total: float) -> None:
         entry = self.children.get(path)
@@ -209,7 +330,13 @@ class Span:
 
     def __enter__(self) -> "Span":
         self.wall_start = time.time()
-        _state.stack.append(self)
+        stack = _state.stack
+        if stack:
+            self._parent_span = stack[-1]
+        else:
+            self._remote = _state.remote
+        stack.append(self)
+        _active_spans[threading.get_ident()] = self.name
         self._watch.start()
         return self
 
@@ -219,10 +346,14 @@ class Span:
         if stack and stack[-1] is self:
             stack.pop()
         parent = stack[-1] if stack else None
+        ident = threading.get_ident()
         if parent is not None:
             parent._fold(self.name, 1, self.duration)
             for path, (count, total) in self.children.items():
                 parent._fold(f"{self.name}/{path}", count, total)
+            _active_spans[ident] = parent.name
+        else:
+            _active_spans.pop(ident, None)
         should_emit = self.emit if self.emit is not None else parent is None
         if should_emit and _sinks:
             _dispatch(self.to_record())
@@ -235,6 +366,11 @@ class Span:
             "ts": self.wall_start,
             "duration": self.duration,
             "self": self.self_seconds,
+            "trace_id": self._resolve_trace_id(),
+            "span_id": self.span_id,
+            "parent_id": self._resolve_parent_id(),
+            "pid": os.getpid(),
+            "thread": threading.current_thread().name,
             "children": {
                 path: {"count": count, "total": total}
                 for path, (count, total) in self.children.items()
@@ -524,6 +660,8 @@ def _reset_after_fork() -> None:
     """
     global _sinks_lock
     _state.stack = []
+    _state.remote = None
+    _active_spans.clear()
     _sinks_lock = threading.Lock()
     del _sinks[:]
     _metrics._lock = threading.Lock()
@@ -542,6 +680,7 @@ def capture(
     jsonl: Optional[str] = None,
     sink=None,
     reset: bool = True,
+    trace_dir: Optional[str] = None,
 ) -> Iterator[List[object]]:
     """Record one run: enable telemetry and attach sinks for the scope.
 
@@ -555,21 +694,32 @@ def capture(
     reset:
         Clear the metrics registry on entry so the end-of-run snapshot
         describes exactly this scope.
+    trace_dir:
+        Spool directory for span records emitted by *other* processes
+        (forked workers) during this scope.  Defaults to
+        ``<jsonl>.spool`` when ``jsonl`` is given; the directory is only
+        created if a worker actually emits.  ``repro report --trace``
+        merges the run record with these spool files into cross-process
+        traces.
 
     On exit a ``{"type": "metrics", ...}`` snapshot record is dispatched,
     sinks opened here are closed, and the enabled flag is restored.
     Yields the list of sinks attached by this scope.
     """
-    from .sinks import JsonlSink  # local import keeps core free-standing
+    from . import trace as trace_module  # local: keeps core free-standing
+    from .sinks import JsonlSink
 
     attached = []
     if jsonl is not None:
         attached.append(JsonlSink(jsonl))
+        if trace_dir is None:
+            trace_dir = f"{jsonl}.spool"
     if sink is not None:
         attached.append(sink)
     if reset:
         _metrics.reset()
     previous = set_enabled(True)
+    previous_spool = trace_module.set_spool_dir(trace_dir)
     for item in attached:
         add_sink(item)
     try:
@@ -578,6 +728,7 @@ def capture(
         snapshot = _metrics.snapshot()
         _dispatch({"type": "metrics", "ts": time.time(), **snapshot})
         set_enabled(previous)
+        trace_module.set_spool_dir(previous_spool)
         for item in attached:
             remove_sink(item)
             close = getattr(item, "close", None)

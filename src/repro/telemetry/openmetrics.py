@@ -1,0 +1,109 @@
+"""OpenMetrics / Prometheus text exposition for the metrics registry.
+
+Standard scrapers speak the `OpenMetrics text format
+<https://prometheus.io/docs/specs/om/open_metrics_spec/>`_, not our JSON
+snapshot, so ``GET /metrics`` on :mod:`repro.serving.http` content-
+negotiates: JSON stays the default, and an ``Accept`` header naming
+``application/openmetrics-text`` or ``text/plain`` gets this rendering.
+
+Mapping
+-------
+* registry **counters** → OpenMetrics ``counter`` families
+  (``<name>_total`` samples);
+* registry **gauges** (plus serving-local batcher/cache stats) →
+  ``gauge`` families;
+* registry **histograms** → ``summary`` families: ``quantile``-labelled
+  p50/p90/p99 estimates plus ``_count``/``_sum`` (the streaming
+  log-bucketed histogram keeps no exact bucket bounds worth exposing).
+
+Dotted repro metric names (``serving.cache.hits``) become legal metric
+names by mapping every illegal character to ``_``; everything is prefixed
+``repro_`` to namespace the exposition.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+__all__ = ["render_openmetrics", "render_service_metrics", "CONTENT_TYPE"]
+
+#: The content type OpenMetrics scrapers expect back.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def _metric_name(name: str, prefix: str = "repro_") -> str:
+    sanitized = _ILLEGAL.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return f"{prefix}{sanitized}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_openmetrics(
+    snapshot: dict,
+    extra_gauges: Optional[Dict[str, float]] = None,
+    prefix: str = "repro_",
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as OpenMetrics text.
+
+    ``extra_gauges`` lets callers fold in metrics that live outside the
+    registry (batcher/cache stats); names are namespaced and sanitized the
+    same way.  Families are emitted in sorted-name order so the exposition
+    is deterministic (and diffable in tests).
+    """
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    for name in sorted(counters):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(counters[name])}")
+    gauges = dict(snapshot.get("gauges", {}))
+    for name, value in (extra_gauges or {}).items():
+        gauges[name] = value
+    for name in sorted(gauges):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+    histograms = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        summary = histograms[name]
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for label, key in _QUANTILES:
+            lines.append(
+                f'{metric}{{quantile="{label}"}} '
+                f"{_format_value(summary.get(key, 0.0))}"
+            )
+        lines.append(f"{metric}_count {_format_value(summary.get('count', 0))}")
+        lines.append(f"{metric}_sum {_format_value(summary.get('total', 0.0))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def render_service_metrics(payload: dict) -> str:
+    """OpenMetrics text for an ``InferenceService.metrics()`` payload.
+
+    The registry snapshot renders directly; the serving-local batcher and
+    prediction-cache stats (plain dicts of numbers) are exposed as gauges
+    under ``repro_serving_batcher_*`` / ``repro_serving_cache_*``.
+    """
+    extra: Dict[str, float] = {}
+    for group in ("batcher", "cache"):
+        stats = payload.get(group) or {}
+        for key, value in stats.items():
+            if isinstance(value, (int, float, bool)):
+                extra[f"serving.{group}.{key}"] = value
+    return render_openmetrics(payload.get("metrics", {}), extra)

@@ -193,6 +193,46 @@ class RunReport:
             title="Training time per epoch (telemetry run record)",
         )
 
+    def render_health(self) -> str:
+        """The neglected operational counters, surfaced in one block.
+
+        Worker restarts, serving shed/timeout counts and the shard-cache
+        hit rate each indicate capacity or stability pressure that the
+        timing tables hide; returns ``""`` when the run recorded none of
+        them (serial, un-served, non-streaming runs stay clean).
+        """
+        counters = self.metrics.get("counters", {})
+        gauges = self.metrics.get("gauges", {})
+        lines = []
+        restarts = counters.get("parallel.worker_restarts", 0.0)
+        if restarts:
+            lines.append(f"  worker restarts: {restarts:g}")
+        shed = sum(
+            value for name, value in counters.items()
+            if name.startswith("serving.") and name.endswith(".shed")
+        )
+        timeouts = sum(
+            value for name, value in counters.items()
+            if name.startswith("serving.") and name.endswith(".timeouts")
+        )
+        requests = counters.get("serving.requests", 0.0)
+        if shed or timeouts or requests:
+            lines.append(
+                f"  serving: {requests:g} request(s), "
+                f"{shed:g} shed, {timeouts:g} timed out"
+            )
+        sc_hits = gauges.get("data.shard_cache.hits", 0.0)
+        sc_misses = gauges.get("data.shard_cache.misses", 0.0)
+        if sc_hits or sc_misses:
+            rate = sc_hits / (sc_hits + sc_misses)
+            lines.append(
+                f"  shard cache: {rate:.1%} hit-rate "
+                f"({sc_hits:g} hit(s) / {sc_misses:g} miss(es))"
+            )
+        if not lines:
+            return ""
+        return "\n".join(["health:"] + lines)
+
     def render_counters(self) -> str:
         """Early-stop / workspace / data counters from the metrics record."""
         counters = dict(self.metrics.get("counters", {}))
@@ -243,6 +283,9 @@ class RunReport:
                 parts.append(self.render_per_epoch())
         else:
             parts.append("no epoch spans in this run record")
+        health = self.render_health()
+        if health:
+            parts.append(health)
         counters = self.render_counters()
         if counters:
             parts.append(counters)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import csv
 import json
 import sys
+import threading
 from typing import Dict, List, Optional, Sequence
 
 __all__ = ["Sink", "InMemorySink", "JsonlSink", "ConsoleEvents", "SummarySink"]
@@ -68,7 +69,10 @@ class JsonlSink(Sink):
     """Append each record as one JSON line to a file (the run record).
 
     Accepts a path (opened/owned by the sink) or an existing text stream
-    (flushed but not closed).
+    (flushed but not closed).  Every record is flushed as it is written:
+    a crashed (or SIGKILLed worker) process loses at most the line it was
+    mid-write on — which :func:`load_records` tolerates — never the spans
+    that completed before the crash.
     """
 
     def __init__(self, target) -> None:
@@ -78,9 +82,21 @@ class JsonlSink(Sink):
         else:
             self._stream = target
             self._owns = False
+        # Spans can be emitted from several threads of one process (the
+        # prefetch producer, serving handler threads); serialise writes so
+        # lines never interleave.
+        self._lock = threading.Lock()
+
+    @property
+    def path(self) -> Optional[str]:
+        """The file backing this sink, or ``None`` for borrowed streams."""
+        return getattr(self._stream, "name", None) if self._owns else None
 
     def emit(self, record: dict) -> None:
-        self._stream.write(json.dumps(record, default=str) + "\n")
+        line = json.dumps(record, default=str) + "\n"
+        with self._lock:
+            self._stream.write(line)
+            self._stream.flush()
 
     def close(self) -> None:
         self._stream.flush()
@@ -177,11 +193,25 @@ class SummarySink(Sink):
 
 
 def load_records(path: str) -> List[dict]:
-    """Read a JSONL run record back into a list of record dicts."""
+    """Read a JSONL run record back into a list of record dicts.
+
+    A truncated *final* line — the signature of a process killed mid-write
+    — is skipped rather than raised, so a crashed worker's spool is still
+    readable up to its last complete record.  Corruption anywhere else in
+    the file still raises: that is not a crash artefact.
+    """
     records = []
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = [line.strip() for line in handle]
+    while lines and not lines[-1]:
+        lines.pop()
+    for index, line in enumerate(lines):
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break
+            raise
     return records

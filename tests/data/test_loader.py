@@ -79,3 +79,46 @@ class TestValidation:
     def test_empty_dataset(self):
         with pytest.raises(ValueError):
             DataLoader(TensorDataset(np.zeros((0, 1)), np.zeros(0)))
+
+
+class TestPrefetchTracing:
+    def test_prefetch_span_joins_the_consumer_trace(self):
+        """The producer thread's span parents on the consuming epoch span."""
+        from repro import telemetry as tel
+
+        sink = tel.InMemorySink()
+        previous = tel.set_enabled(True)
+        tel.add_sink(sink)
+        try:
+            loader = DataLoader(
+                make_dataset(12), batch_size=4, shuffle=False, prefetch=True
+            )
+            with tel.span("epoch", emit=True) as epoch:
+                for _batch in loader:
+                    pass
+                epoch_span_id = epoch.span_id
+                trace_id = epoch._resolve_trace_id()
+        finally:
+            tel.remove_sink(sink)
+            tel.set_enabled(previous)
+            tel.reset_metrics()
+        (prefetch,) = sink.spans("data.prefetch")
+        assert prefetch["trace_id"] == trace_id
+        assert prefetch["parent_id"] == epoch_span_id
+        assert prefetch["attrs"]["batches"] == 3
+        assert prefetch["thread"] == "repro-data-prefetch"
+
+    def test_prefetch_thread_records_nothing_while_disabled(self):
+        from repro import telemetry as tel
+
+        sink = tel.InMemorySink()
+        tel.add_sink(sink)
+        try:
+            loader = DataLoader(
+                make_dataset(8), batch_size=4, shuffle=False, prefetch=True
+            )
+            for _batch in loader:
+                pass
+        finally:
+            tel.remove_sink(sink)
+        assert sink.spans() == []

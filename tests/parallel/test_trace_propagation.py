@@ -1,0 +1,133 @@
+"""Cross-process trace propagation through the worker pool.
+
+The satellite contract: trace ids minted in the parent survive the fork
+boundary — a traced ``WorkerPool.send`` wraps the payload in a context
+envelope, the worker adopts it for the handler call, and root spans the
+handler opens are emitted to the worker's own spool file carrying the
+parent's ``trace_id`` and parenting on the dispatching span.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import telemetry as tel
+from repro.parallel import WorkerPool
+from repro.telemetry.trace import TraceCollector, shutdown_spool
+
+
+def traced_work(worker_id, message):
+    """Handler that opens a (root) span; emits to the worker's spool."""
+    tel.set_enabled(True)
+    with tel.span("work", worker=worker_id):
+        pass
+    return (os.getpid(), message)
+
+
+@pytest.fixture
+def clean_telemetry():
+    previous = tel.set_enabled(False)
+    tel.reset_metrics()
+    yield
+    shutdown_spool()
+    tel.set_enabled(previous)
+    tel.reset_metrics()
+
+
+def _spool_records(spool):
+    records = []
+    for name in sorted(os.listdir(spool)):
+        with open(os.path.join(spool, name)) as handle:
+            records.extend(
+                json.loads(line) for line in handle if line.strip()
+            )
+    return records
+
+
+class TestTracePropagation:
+    def test_worker_spans_join_the_parent_trace(self, tmp_path,
+                                                clean_telemetry):
+        run = str(tmp_path / "run.jsonl")
+        pool = WorkerPool(2, traced_work, name="repro-trace-test")
+        pool.start()
+        try:
+            with tel.capture(jsonl=run):
+                with tel.span("epoch", emit=True) as epoch:
+                    pool.broadcast("step")
+                    replies = pool.gather(timeout=30)
+                    parent_ids = {epoch.span_id}
+                    trace_id = epoch._resolve_trace_id()
+        finally:
+            pool.shutdown()
+
+        worker_pids = {pid for pid, _msg in replies}
+        assert len(worker_pids) == 2  # two distinct child processes
+
+        spool = f"{run}.spool"
+        records = _spool_records(spool)
+        assert len(records) == 2
+        for record in records:
+            assert record["name"] == "work"
+            assert record["trace_id"] == trace_id
+            assert record["parent_id"] in parent_ids
+            assert record["pid"] in worker_pids
+
+        # The collector merges run record + spools into ONE trace.
+        collector = TraceCollector.from_run(run)
+        assert collector.trace_ids() == [trace_id]
+        text = collector.render_one(trace_id)
+        assert "3 span(s), 3 process(es)" in text
+
+    def test_untraced_send_has_no_envelope_overhead(self, tmp_path,
+                                                    clean_telemetry):
+        """Telemetry off: workers see the raw payload, no spool appears."""
+        seen = []
+
+        def echo(worker_id, message):
+            return message
+
+        pool = WorkerPool(1, echo)
+        pool.start()
+        try:
+            assert pool.call(0, ("plain", "tuple")) == ("plain", "tuple")
+        finally:
+            pool.shutdown()
+        assert not os.listdir(str(tmp_path))
+
+    def test_traced_payloads_shaped_like_envelopes_pass_through(
+        self, tmp_path, clean_telemetry
+    ):
+        """A 4-tuple user payload must not be eaten by envelope unwrap."""
+        payload = ("a", "b", "c", "d")
+
+        def echo(worker_id, message):
+            return message
+
+        run = str(tmp_path / "run.jsonl")
+        pool = WorkerPool(1, echo)
+        pool.start()
+        try:
+            with tel.capture(jsonl=run):
+                with tel.span("root", emit=True):
+                    assert pool.call(0, payload, timeout=30) == payload
+        finally:
+            pool.shutdown()
+
+    def test_restart_counter_reaches_health_block(self, clean_telemetry):
+        def echo(worker_id, message):
+            return message
+
+        pool = WorkerPool(1, echo)
+        pool.start()
+        try:
+            previous = tel.set_enabled(True)
+            try:
+                pool.restart(0)
+            finally:
+                tel.set_enabled(previous)
+            assert pool.call(0, "alive", timeout=30) == "alive"
+        finally:
+            pool.shutdown()
+        snapshot = tel.get_metrics().snapshot()
+        assert snapshot["counters"]["parallel.worker_restarts"] == 1.0

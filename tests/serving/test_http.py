@@ -154,3 +154,164 @@ class TestErrorMapping:
         )
         assert error.code == 503
         assert json.loads(error.read())["error"] == "shutting_down"
+
+
+class TestOpenMetrics:
+    def test_openmetrics_accept_header_gets_text_exposition(self, served):
+        base, _service, _server = served
+        _post(f"{base}/classify", {"input": _RNG.random(784).tolist()})
+        request = urllib.request.Request(
+            f"{base}/metrics",
+            headers={"Accept": "application/openmetrics-text"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            content_type = response.headers.get("Content-Type")
+            body = response.read().decode()
+        assert content_type.startswith("application/openmetrics-text")
+        assert "# TYPE repro_serving_batcher_requests gauge" in body
+        assert body.endswith("# EOF\n")
+
+    def test_text_plain_accept_also_gets_openmetrics(self, served):
+        base, _service, _server = served
+        request = urllib.request.Request(
+            f"{base}/metrics", headers={"Accept": "text/plain"}
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.read().decode().endswith("# EOF\n")
+
+    def test_json_stays_the_default(self, served):
+        base, _service, _server = served
+        status, payload = _get(f"{base}/metrics")
+        assert status == 200
+        assert "metrics" in payload and "batcher" in payload
+
+
+def _post_traced(url, payload, header):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json",
+                 "X-Repro-Trace": header},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return (
+            response.headers.get("X-Repro-Trace"),
+            json.loads(response.read()),
+        )
+
+
+def _wait_for_spans(run, name, count, timeout=10.0):
+    import time as time_module
+
+    from repro.telemetry import load_records
+
+    deadline = time_module.monotonic() + timeout
+    while time_module.monotonic() < deadline:
+        spans = [
+            r for r in load_records(run)
+            if r.get("type") == "span" and r.get("name") == name
+        ]
+        if len(spans) >= count:
+            return spans
+        time_module.sleep(0.02)
+    raise AssertionError(f"never saw {count} {name!r} span(s) in {run}")
+
+
+class TestTracePropagation:
+    def test_traced_classify_produces_one_merged_trace(self, served,
+                                                       tmp_path):
+        """The acceptance scenario: client trace -> request -> batch."""
+        from repro import telemetry as tel
+        from repro.telemetry.trace import TraceCollector
+
+        base, _service, _server = served
+        client = "ab" * 8 + "-" + "cd" * 8
+        run = str(tmp_path / "run.jsonl")
+        with tel.capture(jsonl=run):
+            echoed, payload = _post_traced(
+                f"{base}/classify",
+                {"input": _RNG.random(784).tolist()},
+                client,
+            )
+            assert "prediction" in payload
+            (request_span,) = _wait_for_spans(run, "serving.request", 1)
+            (batch_span,) = _wait_for_spans(run, "serving.batch", 1)
+
+        trace_id, _, span_id = echoed.partition("-")
+        assert trace_id == "ab" * 8
+        assert span_id == request_span["span_id"]
+        assert request_span["trace_id"] == "ab" * 8
+        assert request_span["parent_id"] == "cd" * 8
+        assert batch_span["trace_id"] == "ab" * 8
+        assert batch_span["parent_id"] == request_span["span_id"]
+
+        collector = TraceCollector.from_run(run)
+        assert collector.trace_ids() == ["ab" * 8]
+        text = collector.render_one("ab" * 8)
+        assert "serving.request" in text and "serving.batch" in text
+
+    def test_untraced_request_has_no_trace_header(self, served):
+        base, _service, _server = served
+        request = urllib.request.Request(
+            f"{base}/classify",
+            data=json.dumps({"input": _RNG.random(784).tolist()}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.headers.get("X-Repro-Trace") is None
+
+    def test_malformed_trace_header_is_ignored(self, served):
+        base, _service, _server = served
+        echoed, payload = _post_traced(
+            f"{base}/classify",
+            {"input": _RNG.random(784).tolist()},
+            "definitely-not-hex-ids",
+        )
+        assert echoed is None
+        assert "prediction" in payload
+
+    def test_concurrent_requests_never_share_span_stacks(self, served,
+                                                         tmp_path):
+        """Each handler thread's span must carry its own client's ids."""
+        import threading
+
+        from repro import telemetry as tel
+
+        base, _service, _server = served
+        run = str(tmp_path / "run.jsonl")
+        clients = {f"{i:016x}": f"{i + 64:016x}" for i in range(1, 9)}
+        results = {}
+        errors = []
+
+        def fire(trace_id, span_id):
+            try:
+                echoed, _payload = _post_traced(
+                    f"{base}/classify",
+                    {"input": _RNG.random(784).tolist()},
+                    f"{trace_id}-{span_id}",
+                )
+                results[trace_id] = echoed
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        with tel.capture(jsonl=run):
+            threads = [
+                threading.Thread(target=fire, args=item)
+                for item in clients.items()
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            spans = _wait_for_spans(
+                run, "serving.request", len(clients)
+            )
+        assert not errors, errors[0]
+        # Every response echoes its own trace id, not another client's.
+        for trace_id, echoed in results.items():
+            assert echoed.split("-")[0] == trace_id
+        # Every recorded span parents on exactly its client's span id.
+        by_trace = {s["trace_id"]: s for s in spans}
+        assert set(by_trace) == set(clients)
+        for trace_id, span in by_trace.items():
+            assert span["parent_id"] == clients[trace_id]

@@ -1,0 +1,141 @@
+"""Perf-regression tracker tests: records, classification, rendering."""
+
+import json
+
+import pytest
+
+from repro.telemetry.bench import (
+    BenchRecord,
+    diff_records,
+    load_bench_dir,
+    render_diff,
+)
+
+
+def _record(name, **metrics):
+    record = BenchRecord(name)
+    for metric, (value, direction) in metrics.items():
+        record.add(metric, value, unit="x", direction=direction)
+    return record
+
+
+class TestBenchRecord:
+    def test_round_trips_through_disk(self, tmp_path):
+        record = BenchRecord(
+            "serving_throughput", context={"dtype": "float64"}, created=1.5,
+        )
+        record.add("speedup", 2.885, unit="x", direction="higher")
+        path = record.save(str(tmp_path))
+        assert path.endswith("serving_throughput.bench.json")
+        loaded = BenchRecord.load(path)
+        assert loaded.name == record.name
+        assert loaded.context == {"dtype": "float64"}
+        assert loaded.created == 1.5
+        assert loaded.metrics == record.metrics
+
+    def test_schema_field_is_stable(self, tmp_path):
+        path = _record("b", m=(1.0, None)).save(str(tmp_path))
+        with open(path) as handle:
+            assert json.load(handle)["schema"] == 1
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            BenchRecord("b").add("m", 1.0, direction="sideways")
+
+    def test_load_bench_dir_keys_by_name(self, tmp_path):
+        _record("alpha", m=(1.0, None)).save(str(tmp_path))
+        _record("beta", m=(2.0, None)).save(str(tmp_path))
+        records = load_bench_dir(str(tmp_path))
+        assert set(records) == {"alpha", "beta"}
+
+    def test_load_bench_dir_empty(self, tmp_path):
+        assert load_bench_dir(str(tmp_path / "nope")) == {}
+
+
+class TestDiffClassification:
+    def test_injected_throughput_regression_is_flagged(self):
+        """The acceptance scenario: a 20% throughput drop fails the diff."""
+        baseline = {"serving": _record("serving", rps=(5000.0, "higher"))}
+        current = {"serving": _record("serving", rps=(4000.0, "higher"))}
+        (row,) = diff_records(baseline, current, tolerance=0.10)
+        assert row.status == "regression"
+        assert row.change == pytest.approx(-0.20)
+        assert "FAIL: 1 regression(s)" in render_diff([row])
+
+    def test_within_tolerance_is_ok(self):
+        baseline = {"b": _record("b", speedup=(2.0, "higher"))}
+        current = {"b": _record("b", speedup=(1.9, "higher"))}
+        (row,) = diff_records(baseline, current, tolerance=0.10)
+        assert row.status == "ok"
+
+    def test_improvement_is_reported_not_failed(self):
+        baseline = {"b": _record("b", speedup=(2.0, "higher"))}
+        current = {"b": _record("b", speedup=(3.0, "higher"))}
+        (row,) = diff_records(baseline, current)
+        assert row.status == "improved"
+        assert "ok: no regressions" in render_diff([row])
+
+    def test_lower_is_better_direction(self):
+        baseline = {"b": _record("b", latency=(10.0, "lower"))}
+        worse = {"b": _record("b", latency=(15.0, "lower"))}
+        better = {"b": _record("b", latency=(5.0, "lower"))}
+        assert diff_records(baseline, worse)[0].status == "regression"
+        assert diff_records(baseline, better)[0].status == "improved"
+
+    def test_directionless_metrics_are_informational(self):
+        baseline = {"b": _record("b", epoch_ms=(100.0, None))}
+        current = {"b": _record("b", epoch_ms=(500.0, None))}
+        (row,) = diff_records(baseline, current)
+        assert row.status == "info"
+
+    def test_missing_bench_is_skipped_not_failed(self):
+        baseline = {"b": _record("b", speedup=(2.0, "higher"))}
+        (row,) = diff_records(baseline, {})
+        assert row.status == "missing"
+        assert row.current is None
+        text = render_diff([row])
+        assert "ok:" in text and "(0 metric(s) compared)" in text
+
+    def test_missing_metric_is_skipped(self):
+        baseline = {"b": _record("b", speedup=(2.0, "higher"))}
+        current = {"b": _record("b", other=(1.0, "higher"))}
+        (row,) = diff_records(baseline, current)
+        assert row.metric == "speedup"
+        assert row.status == "missing"
+
+    def test_zero_baseline_uses_directional_sign(self):
+        baseline = {"b": _record("b", m=(0.0, "higher"))}
+        assert diff_records(
+            baseline, {"b": _record("b", m=(-1.0, "higher"))}
+        )[0].status == "regression"
+        assert diff_records(
+            baseline, {"b": _record("b", m=(1.0, "higher"))}
+        )[0].status == "ok"
+
+    def test_custom_tolerance(self):
+        baseline = {"b": _record("b", speedup=(2.0, "higher"))}
+        current = {"b": _record("b", speedup=(1.7, "higher"))}
+        assert diff_records(
+            baseline, current, tolerance=0.10
+        )[0].status == "regression"
+        assert diff_records(
+            baseline, current, tolerance=0.20
+        )[0].status == "ok"
+
+    def test_render_empty(self):
+        assert "no baseline records" in render_diff([])
+
+
+class TestCommittedBaselines:
+    def test_committed_baselines_self_diff_clean(self):
+        """The acceptance scenario: repo baselines diff clean vs themselves."""
+        import os
+
+        results = os.path.join(
+            os.path.dirname(__file__), "..", "..", "benchmarks", "results"
+        )
+        records = load_bench_dir(results)
+        assert records, "no committed *.bench.json baselines found"
+        rows = diff_records(records, records)
+        assert rows
+        assert all(row.status in ("ok", "info") for row in rows)

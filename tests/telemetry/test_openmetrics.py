@@ -1,0 +1,76 @@
+"""OpenMetrics exposition tests: mapping, sanitisation, determinism."""
+
+from repro.telemetry.openmetrics import (
+    CONTENT_TYPE,
+    render_openmetrics,
+    render_service_metrics,
+)
+
+
+def test_content_type_names_openmetrics():
+    assert CONTENT_TYPE.startswith("application/openmetrics-text")
+
+
+class TestRenderOpenmetrics:
+    def test_counters_become_total_samples(self):
+        text = render_openmetrics({"counters": {"serving.requests": 7.0}})
+        assert "# TYPE repro_serving_requests counter" in text
+        assert "repro_serving_requests_total 7" in text
+
+    def test_gauges_render_with_extras(self):
+        text = render_openmetrics(
+            {"gauges": {"workspace.pool.bytes": 1024.0}},
+            extra_gauges={"serving.batcher.requests": 3},
+        )
+        assert "repro_workspace_pool_bytes 1024" in text
+        assert "repro_serving_batcher_requests 3" in text
+
+    def test_histograms_become_summaries_with_quantiles(self):
+        snapshot = {"histograms": {"serving.request_latency_ms": {
+            "count": 4, "total": 10.0, "min": 1.0, "max": 4.0,
+            "mean": 2.5, "p50": 2.0, "p90": 3.5, "p99": 3.9,
+        }}}
+        text = render_openmetrics(snapshot)
+        assert "# TYPE repro_serving_request_latency_ms summary" in text
+        assert 'repro_serving_request_latency_ms{quantile="0.5"} 2' in text
+        assert 'repro_serving_request_latency_ms{quantile="0.99"} 3.9' in text
+        assert "repro_serving_request_latency_ms_count 4" in text
+        assert "repro_serving_request_latency_ms_sum 10" in text
+
+    def test_names_are_sanitised_and_prefixed(self):
+        text = render_openmetrics({"counters": {"a.b-c/d": 1.0}})
+        assert "repro_a_b_c_d_total 1" in text
+
+    def test_leading_digit_guarded(self):
+        text = render_openmetrics({"gauges": {"2workers.speedup": 1.5}})
+        assert "repro__2workers_speedup 1.5" in text
+
+    def test_ends_with_eof_marker(self):
+        assert render_openmetrics({}).endswith("# EOF\n")
+
+    def test_deterministic_sorted_output(self):
+        snapshot = {"counters": {"b": 1.0, "a": 2.0}}
+        assert render_openmetrics(snapshot) == render_openmetrics(
+            {"counters": {"a": 2.0, "b": 1.0}}
+        )
+        text = render_openmetrics(snapshot)
+        assert text.index("repro_a_total") < text.index("repro_b_total")
+
+
+class TestRenderServiceMetrics:
+    def test_batcher_and_cache_stats_exposed_as_gauges(self):
+        payload = {
+            "metrics": {"counters": {"serving.requests": 2.0}},
+            "batcher": {"requests": 2, "batches": 1, "mean_batch": 2.0},
+            "cache": {"hits": 1, "misses": 1, "hit_rate": 0.5},
+        }
+        text = render_service_metrics(payload)
+        assert "repro_serving_requests_total 2" in text
+        assert "repro_serving_batcher_batches 1" in text
+        assert "repro_serving_cache_hit_rate 0.5" in text
+
+    def test_non_numeric_stats_are_skipped(self):
+        payload = {"metrics": {}, "batcher": {"name": "classify", "n": 1}}
+        text = render_service_metrics(payload)
+        assert "classify" not in text
+        assert "repro_serving_batcher_n 1" in text

@@ -110,3 +110,47 @@ class TestRunReport:
             "\n".join(json.dumps(r) for r in self.make_records()) + "\n"
         )
         assert "Training time per epoch" in render_report(str(path))
+
+
+class TestHealthBlock:
+    def metrics_record(self, counters=None, gauges=None):
+        return {"type": "metrics", "ts": 0.0,
+                "counters": counters or {}, "gauges": gauges or {}}
+
+    def test_silent_when_nothing_recorded(self):
+        report = build_report([epoch_record(), self.metrics_record()])
+        assert report.render_health() == ""
+        assert "health:" not in report.render()
+
+    def test_worker_restarts_surface(self):
+        report = build_report([self.metrics_record(
+            counters={"parallel.worker_restarts": 2.0}
+        )])
+        text = report.render_health()
+        assert "health:" in text
+        assert "worker restarts: 2" in text
+
+    def test_serving_pressure_line_aggregates_batchers(self):
+        report = build_report([self.metrics_record(counters={
+            "serving.requests": 10.0,
+            "serving.classify.shed": 3.0,
+            "serving.audit.shed": 1.0,
+            "serving.classify.timeouts": 2.0,
+        })])
+        text = report.render_health()
+        assert "serving: 10 request(s), 4 shed, 2 timed out" in text
+
+    def test_shard_cache_hit_rate(self):
+        report = build_report([self.metrics_record(gauges={
+            "data.shard_cache.hits": 9.0,
+            "data.shard_cache.misses": 1.0,
+        })])
+        assert "shard cache: 90.0% hit-rate" in report.render_health()
+
+    def test_health_block_in_full_render(self):
+        report = build_report([
+            epoch_record(),
+            self.metrics_record(
+                counters={"parallel.worker_restarts": 1.0}),
+        ])
+        assert "health:" in report.render()

@@ -3,6 +3,8 @@
 import io
 import json
 
+import pytest
+
 from repro import telemetry as tel
 from repro.telemetry import (
     ConsoleEvents,
@@ -74,6 +76,37 @@ class TestJsonlRoundTrip:
         path = tmp_path / "run.jsonl"
         path.write_text('{"type": "event", "name": "a"}\n\n')
         assert len(load_records(str(path))) == 1
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        """A SIGKILLed writer leaves a torn last line; loading tolerates it."""
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            '{"type": "span", "name": "a"}\n'
+            '{"type": "span", "name": "b"}\n'
+            '{"type": "span", "na'  # killed mid-write
+        )
+        records = load_records(str(path))
+        assert [r["name"] for r in records] == ["a", "b"]
+
+    def test_corrupt_interior_line_still_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            '{"type": "span", "name": "a"}\n'
+            "not json at all\n"
+            '{"type": "span", "name": "b"}\n'
+        )
+        with pytest.raises(json.JSONDecodeError):
+            load_records(str(path))
+
+    def test_every_record_is_flushed_immediately(self, tmp_path):
+        """Crash-safety: records must hit the file before close()."""
+        path = str(tmp_path / "run.jsonl")
+        sink = JsonlSink(path)
+        try:
+            sink.emit({"type": "event", "name": "x", "fields": {}})
+            assert len(load_records(path)) == 1
+        finally:
+            sink.close()
 
 
 class TestConsoleEvents:

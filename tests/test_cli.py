@@ -83,3 +83,96 @@ class TestSmokeRuns:
         assert "robust accuracy" in out
         assert "gradient-masking diagnostics" in out
         assert code in (0, 1)  # masking verdict may flag at smoke scale
+
+
+class TestObservabilityCommands:
+    def _run_record(self, tmp_path):
+        """A tiny traced run record with one spooled worker span."""
+        import os
+
+        run = tmp_path / "run.jsonl"
+        spool = tmp_path / "run.jsonl.spool"
+        spool.mkdir()
+        epoch = {
+            "type": "span", "name": "epoch", "ts": 0.0, "duration": 2.0,
+            "self": 2.0, "trace_id": "t" * 16, "span_id": "a" * 16,
+            "parent_id": None, "pid": 1, "thread": "MainThread",
+            "children": {}, "attrs": {"trainer": "proposed", "epoch": 0},
+        }
+        shard = dict(
+            epoch, name="shard", span_id="b" * 16, parent_id="a" * 16,
+            ts=0.5, duration=1.0, pid=2, attrs={"worker": 0},
+        )
+        run.write_text(json.dumps(epoch) + "\n")
+        (spool / "spool-2-ff.jsonl").write_text(json.dumps(shard) + "\n")
+        return str(run)
+
+    def test_report_trace_renders_merged_tree(self, capsys, tmp_path):
+        run = self._run_record(tmp_path)
+        assert main(["report", run, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "2 span(s), 2 process(es)" in out
+        assert "shard" in out
+
+    def test_report_trace_with_id_prefix(self, capsys, tmp_path):
+        run = self._run_record(tmp_path)
+        assert main(["report", run, "--trace", "tttt"]) == 0
+        assert "trace " + "t" * 16 in capsys.readouterr().out
+
+    def test_report_still_renders_timing_table(self, capsys, tmp_path):
+        run = self._run_record(tmp_path)
+        assert main(["report", run]) == 0
+        assert "Training time per epoch" in capsys.readouterr().out
+
+    def test_profile_subcommand_wraps_table1(self, capsys, tmp_path):
+        out_path = str(tmp_path / "prof.collapsed")
+        code = main([
+            "profile", "--out", out_path, "--hz", "199",
+            "table1", "--scale", "smoke",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "sampling profile:" in out
+        with open(out_path) as handle:
+            assert handle.read().strip()  # non-empty collapsed stacks
+
+    def test_profile_without_subcommand_errors(self, capsys):
+        assert main(["profile"]) == 2
+        assert "usage:" in capsys.readouterr().out
+
+    def test_profile_flag_on_subcommand(self, capsys, tmp_path):
+        out_path = str(tmp_path / "prof.collapsed")
+        code = main([
+            "table1", "--scale", "smoke", "--profile", out_path,
+        ])
+        assert code == 0
+        assert "sampling profile:" in capsys.readouterr().out
+
+    def test_bench_diff_on_committed_baselines(self, capsys):
+        assert main(["bench", "diff"]) == 0
+        out = capsys.readouterr().out
+        assert "ok: no regressions" in out
+
+    def test_bench_diff_flags_injected_regression(self, capsys, tmp_path):
+        from repro.telemetry.bench import BenchRecord
+
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "current"
+        BenchRecord("serving").add(
+            "rps", 5000.0, unit="examples/s", direction="higher"
+        ).save(str(baseline))
+        BenchRecord("serving").add(
+            "rps", 4000.0, unit="examples/s", direction="higher"
+        ).save(str(current))
+        code = main([
+            "bench", "diff", str(current), "--baseline", str(baseline),
+        ])
+        assert code == 1
+        assert "FAIL: 1 regression(s)" in capsys.readouterr().out
+
+    def test_bench_diff_without_baselines_errors(self, capsys, tmp_path):
+        assert main(
+            ["bench", "diff", "--baseline", str(tmp_path / "void")]
+        ) == 2
+        assert "no *.bench.json" in capsys.readouterr().out
